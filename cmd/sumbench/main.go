@@ -1,0 +1,129 @@
+// Command sumbench regenerates the paper's figures and the reproduction's
+// theory-validation tables (see DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for a recorded reference run).
+//
+// Usage:
+//
+//	sumbench -figure f1 [-sizes 1000000,10000000] [-delta 2000] [-workers 32]
+//	sumbench -figure all -quick
+//
+// Figures: f1 f2 f3 pram cond em carry radix combiner seq all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parsum/internal/bench"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "all", "which experiment to run: f1 f2 f3 pram cond em carry radix combiner seq all")
+		sizes     = flag.String("sizes", "1000000,10000000,100000000", "comma-separated input sizes for figure 1")
+		n         = flag.Int64("n", 10_000_000, "input size for figures 2 and 3")
+		delta     = flag.Int("delta", 2000, "exponent-range parameter δ for figures 1 and 3")
+		deltas    = flag.String("deltas", "10,30,50,100,300,500,1000,2000", "δ sweep for figure 2")
+		workers   = flag.Int("workers", 32, "modeled cluster size")
+		workerSet = flag.String("workerlist", "1,2,4,8,16,32", "cluster-size sweep for figure 3")
+		split     = flag.Int("split", 1<<20, "elements per input split")
+		seed      = flag.Uint64("seed", 1, "dataset seed")
+		quick     = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+	)
+	flag.Parse()
+
+	cfg := bench.Defaults()
+	cfg.Workers = *workers
+	cfg.SplitSize = *split
+	cfg.Seed = *seed
+
+	szs := parseInts64(*sizes)
+	dls := parseInts(*deltas)
+	wl := parseInts(*workerSet)
+	nn := *n
+	if *quick {
+		szs = []int64{100_000, 1_000_000}
+		nn = 1_000_000
+		cfg.SplitSize = 1 << 16
+	}
+
+	show := func(ts ...bench.Table) {
+		for _, t := range ts {
+			fmt.Println(t.Format())
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "f1":
+			show(bench.Figure1(szs, *delta, cfg)...)
+		case "f2":
+			show(bench.Figure2(nn, dls, cfg)...)
+		case "f3":
+			show(bench.Figure3(nn, *delta, wl, cfg)...)
+		case "pram":
+			show(bench.PRAMTable([]int{64, 256, 1024, 4096}, 32))
+		case "cond":
+			show(bench.CondTable(20000, []int{0, 100, 200, 300, 400, 500, 700, 900}))
+		case "em":
+			show(bench.EMTable([]int64{10_000, 40_000, 160_000, 640_000}, 256, 2048))
+		case "carry":
+			show(bench.CarryTable([]uint{8, 16, 24, 32}, 256))
+		case "radix":
+			sz := nn
+			if *quick {
+				sz = 1_000_000
+			}
+			show(bench.RadixTable([]uint{8, 16, 24, 32}, sz))
+		case "combiner":
+			show(bench.CombinerTable(nn, cfg))
+		case "sigma":
+			sz := nn
+			if *quick {
+				sz = 100_000
+			}
+			show(bench.SigmaTable(sz, dls))
+		case "seq":
+			sz := nn
+			if *quick {
+				sz = 1_000_000
+			}
+			show(bench.SeqTable(sz, *delta)...)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *figure == "all" {
+		for _, f := range []string{"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma", "combiner", "seq"} {
+			run(f)
+		}
+		return
+	}
+	for _, f := range strings.Split(*figure, ",") {
+		run(strings.TrimSpace(f))
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer %q\n", p)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts64(s string) []int64 {
+	var out []int64
+	for _, v := range parseInts(s) {
+		out = append(out, int64(v))
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Command sumgen generates the paper's four evaluation datasets (after
+// Zhu & Hayes) to stdout, as decimal text (one number per line) or raw
+// little-endian float64 binary.
+//
+// Usage:
+//
+//	sumgen -dist sumzero -n 1000000 -delta 2000 -seed 7 > data.txt
+//	sumgen -dist anderson -n 1000000 -format bin > data.f64
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"parsum/internal/gen"
+)
+
+func main() {
+	var (
+		dist   = flag.String("dist", "random", "distribution: condone | random | anderson | sumzero")
+		n      = flag.Int64("n", 1_000_000, "number of values")
+		delta  = flag.Int("delta", 2000, "exponent-range parameter δ")
+		seed   = flag.Uint64("seed", 1, "PRNG seed")
+		format = flag.String("format", "text", "output format: text | bin")
+	)
+	flag.Parse()
+
+	var d gen.Dist
+	switch strings.ToLower(*dist) {
+	case "condone", "c1", "positive":
+		d = gen.CondOne
+	case "random", "mixed":
+		d = gen.Random
+	case "anderson":
+		d = gen.Anderson
+	case "sumzero", "zero":
+		d = gen.SumZero
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	src := gen.New(gen.Config{Dist: d, N: *n, Delta: *delta, Seed: *seed})
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+
+	buf := make([]float64, 1<<16)
+	var le [8]byte
+	for off := int64(0); off < *n; off += int64(len(buf)) {
+		chunk := buf
+		if rem := *n - off; rem < int64(len(buf)) {
+			chunk = buf[:rem]
+		}
+		src.Fill(chunk, off)
+		for _, x := range chunk {
+			if *format == "bin" {
+				binary.LittleEndian.PutUint64(le[:], math.Float64bits(x))
+				if _, err := w.Write(le[:]); err != nil {
+					fail(err)
+				}
+			} else {
+				if _, err := w.WriteString(strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
+					fail(err)
+				}
+				if err := w.WriteByte('\n'); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sumgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command sumx computes the exact, correctly rounded sum of a stream of
+// float64 values — the end-user face of the library. It reads decimal text
+// (whitespace-separated) or raw little-endian float64 binary from stdin or
+// the named files.
+//
+// Usage:
+//
+//	sumgen -dist sumzero -n 1000000 | sumx
+//	sumx -bin data.f64
+//	sumx -stats data.txt        # also print n, Σ|x|, C(X), σ
+//
+// Note that text input is parsed with strconv.ParseFloat, which rounds each
+// decimal literal to the nearest float64 first; the sum is exact over those
+// parsed values.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"parsum/internal/accum"
+)
+
+func main() {
+	var (
+		bin   = flag.Bool("bin", false, "input is raw little-endian float64 binary")
+		stats = flag.Bool("stats", false, "print count, Σ|x|, condition number, and accumulator σ")
+	)
+	flag.Parse()
+
+	sum := accum.NewWindow(0)
+	abs := accum.NewWindow(0)
+	var n int64
+
+	process := func(r io.Reader) error {
+		if *bin {
+			br := bufio.NewReaderSize(r, 1<<20)
+			var buf [8]byte
+			for {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					if err == io.EOF {
+						return nil
+					}
+					if err == io.ErrUnexpectedEOF {
+						return fmt.Errorf("trailing %d bytes are not a float64", len(buf))
+					}
+					return err
+				}
+				x := math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+				sum.Add(x)
+				if *stats {
+					abs.Add(math.Abs(x))
+				}
+				n++
+			}
+		}
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		sc.Split(bufio.ScanWords)
+		for sc.Scan() {
+			x, err := strconv.ParseFloat(sc.Text(), 64)
+			if err != nil {
+				return fmt.Errorf("bad number %q: %v", sc.Text(), err)
+			}
+			sum.Add(x)
+			if *stats {
+				abs.Add(math.Abs(x))
+			}
+			n++
+		}
+		return sc.Err()
+	}
+
+	if flag.NArg() == 0 {
+		if err := process(os.Stdin); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, name := range flag.Args() {
+			f, err := os.Open(name)
+			if err != nil {
+				fail(err)
+			}
+			err = process(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	s := sum.Round()
+	fmt.Println(strconv.FormatFloat(s, 'g', -1, 64))
+	if *stats {
+		a := abs.Round()
+		c := math.NaN()
+		switch {
+		case a == 0:
+			c = 1
+		case s == 0:
+			c = math.Inf(1)
+		default:
+			c = a / math.Abs(s)
+		}
+		fmt.Fprintf(os.Stderr, "n=%d  sum|x|=%g  C(X)=%g  sigma=%d components\n",
+			n, a, c, sum.ToSparse().Len())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sumx:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Geometry: a robust 2-D orientation predicate built on exact summation.
+//
+// The orientation of three points is the sign of a 3×3 determinant. With
+// plain floating-point arithmetic the sign is unreliable for
+// nearly-collinear points — the motivating application the paper cites
+// from computational geometry (Shewchuk's robust predicates). Here the
+// determinant is expanded into six products; each product is computed
+// exactly with an error-free transform (TwoProd), and the twelve resulting
+// terms are summed exactly with a superaccumulator, so the sign is always
+// correct.
+//
+// The demo classifies a grid of points near a segment: the naive predicate
+// produces a noisy, self-contradictory classification band while the exact
+// one draws a clean line. Run with:
+//
+//	go run ./examples/geometry
+package main
+
+import (
+	"fmt"
+
+	"parsum"
+	"parsum/internal/eft"
+)
+
+// orientNaive returns the sign of det(b−a, c−a) computed with ordinary
+// floating-point arithmetic.
+func orientNaive(ax, ay, bx, by, cx, cy float64) int {
+	det := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+	switch {
+	case det > 0:
+		return 1
+	case det < 0:
+		return -1
+	}
+	return 0
+}
+
+// orientExact returns the exact sign of the orientation determinant:
+//
+//	det = bx·cy − bx·ay − ax·cy − by·cx + by·ax + ay·cx
+//
+// Each product contributes its rounded value and exact error via TwoProd;
+// the exact sum of all twelve terms has the true sign.
+func orientExact(ax, ay, bx, by, cx, cy float64) int {
+	acc := parsum.NewAccumulator()
+	add := func(sign, u, v float64) {
+		p, e := eft.TwoProd(u, v)
+		acc.Add(sign * p)
+		acc.Add(sign * e)
+	}
+	add(+1, bx, cy)
+	add(-1, bx, ay)
+	add(-1, ax, cy)
+	add(-1, by, cx)
+	add(+1, by, ax)
+	add(+1, ay, cx)
+	det := acc.Round()
+	switch {
+	case det > 0:
+		return 1
+	case det < 0:
+		return -1
+	}
+	return 0
+}
+
+func main() {
+	// Points a and b define a line; classify c = base + (i·ε, j·ε) for a
+	// grid of half-ulp-scale offsets around a point near the line.
+	ax, ay := 12.0, 12.0
+	bx, by := 24.0, 24.0
+	const grid = 16
+	eps := 0x1p-52
+
+	fmt.Println("orientation of near-collinear points: naive vs exact")
+	fmt.Println("(rows: grid of 2^-52-scale offsets; symbols: + left, - right, 0 on line)")
+	var disagreements int
+	for j := 0; j < grid; j++ {
+		var naiveRow, exactRow []byte
+		for i := 0; i < grid; i++ {
+			cx := 0.5 + float64(i)*eps
+			cy := 0.5 + float64(j)*eps
+			n := orientNaive(ax, ay, bx, by, cx, cy)
+			e := orientExact(ax, ay, bx, by, cx, cy)
+			naiveRow = append(naiveRow, symbol(n))
+			exactRow = append(exactRow, symbol(e))
+			if n != e {
+				disagreements++
+			}
+		}
+		fmt.Printf("naive %s   exact %s\n", naiveRow, exactRow)
+	}
+	fmt.Printf("\nnaive predicate disagrees with the exact sign on %d of %d points\n",
+		disagreements, grid*grid)
+}
+
+func symbol(s int) byte {
+	switch s {
+	case 1:
+		return '+'
+	case -1:
+		return '-'
+	}
+	return '0'
+}

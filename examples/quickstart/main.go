@@ -1,0 +1,53 @@
+// Quickstart: exact summation with parsum in five minutes.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"parsum"
+)
+
+func main() {
+	// Floating-point addition is not associative: the classic failure.
+	xs := []float64{1e100, 1, -1e100, 25e-3, 0.5, -0.525}
+	var naive float64
+	for _, x := range xs {
+		naive += x
+	}
+	fmt.Println("input:          ", xs)
+	fmt.Println("naive ⊕ sum:    ", naive)          // 0 — the 1 vanished
+	fmt.Println("parsum.Sum:     ", parsum.Sum(xs)) // exactly 1
+
+	// The condition number measures how hard an input is; this one is
+	// catastrophic for naive summation.
+	fmt.Println("condition number:", parsum.ConditionNumber(xs))
+
+	// Streaming accumulation: feed values as they arrive, round at the end.
+	// The exact sum of 10⁷ copies of fl(0.1) is 10⁶ + 5.55e−11, which is
+	// within half an ulp of 10⁶ and so correctly rounds to exactly 1e6;
+	// the naive running ⊕ tally accumulates 10⁷ rounding errors instead.
+	acc := parsum.NewAccumulator()
+	var tally float64
+	for i := 0; i < 10_000_000; i++ {
+		acc.Add(0.1)
+		tally += 0.1
+	}
+	fmt.Println("10M × 0.1 naive: ", tally)       // 999999.9998389754
+	fmt.Println("10M × 0.1 exact: ", acc.Round()) // 1e+06
+
+	// Parallel summation is bit-identical for every worker count: exact
+	// accumulators make the reduction order irrelevant.
+	data := make([]float64, 1_000_000)
+	for i := range data {
+		data[i] = float64(i%1000) * 1e-3
+	}
+	s1 := parsum.SumParallel(data, parsum.Options{Workers: 1})
+	s8 := parsum.SumParallel(data, parsum.Options{Workers: 8})
+	fmt.Println("1 worker:        ", s1)
+	fmt.Println("8 workers:       ", s8)
+	fmt.Println("bit-identical:   ", s1 == s8)
+}

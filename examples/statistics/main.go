@@ -1,0 +1,137 @@
+// Statistics: exact dot products, means, and variances on top of exact
+// summation — the "large-scale simulations" use case from the paper's
+// abstract, where accumulated roundoff corrupts summary statistics.
+//
+// The textbook one-pass variance formula Var = (n·Σx² − (Σx)²)/n² is
+// famously unstable: for data with a large mean and tiny spread the two
+// terms nearly cancel, and float64 arithmetic can even report a *negative*
+// variance. Rounding Σx and Σx² before subtracting does not help — the
+// cancellation amplifies those roundings. The fix is to keep everything
+// exact through the cancellation: accumulate n·x² exactly (TwoProd),
+// extract Σx as an exact multi-term expansion, square that expansion
+// exactly, subtract inside the superaccumulator, and round once at the
+// end.
+//
+// Run with:
+//
+//	go run ./examples/statistics
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parsum"
+	"parsum/internal/eft"
+)
+
+// exactDot accumulates Σ uᵢ·vᵢ exactly: TwoProd splits every product into
+// a rounded part and its exact error, both of which go into the
+// superaccumulator.
+func exactDot(u, v []float64) *parsum.Accumulator {
+	acc := parsum.NewAccumulator()
+	for i := range u {
+		p, e := eft.TwoProd(u[i], v[i])
+		acc.Add(p)
+		acc.Add(e)
+	}
+	return acc
+}
+
+// expansion extracts the exact value of acc as a short list of float64s
+// (repeated round-and-subtract; the accumulator is consumed).
+func expansion(acc *parsum.Accumulator) []float64 {
+	var terms []float64
+	for i := 0; i < 40; i++ {
+		r := acc.Round()
+		if r == 0 {
+			break
+		}
+		terms = append(terms, r)
+		acc.Add(-r)
+	}
+	return terms
+}
+
+// exactVariance computes Var = (n·Σx² − (Σx)²)/n² with the subtraction
+// performed on exact quantities; only the final division rounds.
+func exactVariance(xs []float64) float64 {
+	n := float64(len(xs))
+	d := parsum.NewAccumulator()
+	// n·Σx², exactly: x², then ×n, all error-free.
+	for _, x := range xs {
+		p, e := eft.TwoProd(x, x)
+		for _, term := range []float64{p, e} {
+			hi, lo := eft.TwoProd(term, n)
+			d.Add(hi)
+			d.Add(lo)
+		}
+	}
+	// −(Σx)², exactly: Σx as an exact expansion, squared term by term.
+	s := parsum.NewAccumulator()
+	s.AddSlice(xs)
+	terms := expansion(s)
+	for _, a := range terms {
+		for _, b := range terms {
+			hi, lo := eft.TwoProd(a, b)
+			d.Add(-hi)
+			d.Add(-lo)
+		}
+	}
+	return d.Round() / (n * n)
+}
+
+func main() {
+	// Sensor-style data: large offset, tiny fluctuations.
+	const n = 2_000_000
+	const mean = 1e9
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + rng.NormFloat64() // true variance ≈ 1
+	}
+
+	// Naive one-pass: everything in float64.
+	var s, s2 float64
+	for _, x := range xs {
+		s += x
+		s2 += x * x
+	}
+	naiveVar := s2/n - (s/n)*(s/n)
+
+	// Half-measure: exact sums, but rounded before the cancellation.
+	sumAcc := parsum.NewAccumulator()
+	sumAcc.AddSlice(xs)
+	exMean := sumAcc.Round() / n
+	halfVar := exactDot(xs, xs).Round()/n - exMean*exMean
+
+	exVar := exactVariance(xs)
+
+	// Two-pass reference.
+	var tp float64
+	for _, x := range xs {
+		d := x - exMean
+		tp += d * d
+	}
+	twoPass := tp / n
+
+	fmt.Printf("n = %d, data = %g + N(0,1), true variance ≈ 1\n\n", n, mean)
+	fmt.Printf("one-pass, float64 sums:             %-12g (garbage, sign can even flip)\n", naiveVar)
+	fmt.Printf("one-pass, exact sums rounded early: %-12g (rounding before cancelling)\n", halfVar)
+	fmt.Printf("one-pass, exact through cancel:     %.15g\n", exVar)
+	fmt.Printf("two-pass reference:                 %.15g\n", twoPass)
+	fmt.Printf("|one-pass-exact − two-pass|:        %.3g\n\n", math.Abs(exVar-twoPass))
+
+	// Exact dot products: a classic cancelling case where the float64 dot
+	// product is off by 8 units while the exact one is … exact.
+	u := []float64{1e14 + 3, -1e14 + 1}
+	v := []float64{1e14 - 3, 1e14 + 1}
+	var fl float64
+	for i := range u {
+		fl += u[i] * v[i]
+	}
+	fmt.Println("dot([1e14+3, −1e14+1], [1e14−3, 1e14+1]) — true value −8:")
+	fmt.Println("  float64:", fl)
+	fmt.Println("  exact:  ", exactDot(u, v).Round())
+}

@@ -1,0 +1,194 @@
+package accum
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary wire format for superaccumulators, so partial sums can be
+// exchanged between processes — the role the paper's reducers' "write the
+// resulting sparse superaccumulator to the output" plays on HDFS.
+//
+// Layout (little-endian varints):
+//
+//	magic   byte = 0xA5
+//	kind    byte ('S' sparse, 'D' dense)
+//	version byte = 1
+//	width   byte (digit width W)
+//	flags   byte (bit 0 NaN, bit 1 +Inf, bit 2 −Inf)
+//	count   uvarint (number of components)
+//	count × { idx zigzag-varint, dig zigzag-varint }
+//
+// Components must be strictly ascending by index; digits must lie in the
+// (α,β) range. Decoding validates everything it reads.
+
+const (
+	codecMagic   = 0xA5
+	codecVersion = 1
+)
+
+// Codec errors.
+var (
+	ErrCodecTruncated = errors.New("accum: truncated encoding")
+	ErrCodecInvalid   = errors.New("accum: invalid encoding")
+)
+
+func appendHeader(buf []byte, kind byte, w uint, sp special) []byte {
+	var flags byte
+	if sp.nan {
+		flags |= 1
+	}
+	if sp.posInf {
+		flags |= 2
+	}
+	if sp.negInf {
+		flags |= 4
+	}
+	return append(buf, codecMagic, kind, codecVersion, byte(w), flags)
+}
+
+func parseHeader(data []byte, wantKind byte) (w uint, sp special, rest []byte, err error) {
+	if len(data) < 5 {
+		return 0, sp, nil, ErrCodecTruncated
+	}
+	if data[0] != codecMagic {
+		return 0, sp, nil, fmt.Errorf("%w: bad magic %#x", ErrCodecInvalid, data[0])
+	}
+	if data[1] != wantKind {
+		return 0, sp, nil, fmt.Errorf("%w: kind %q, want %q", ErrCodecInvalid, data[1], wantKind)
+	}
+	if data[2] != codecVersion {
+		return 0, sp, nil, fmt.Errorf("%w: unsupported version %d", ErrCodecInvalid, data[2])
+	}
+	w = uint(data[3])
+	if w < MinWidth || w > MaxWidth {
+		return 0, sp, nil, fmt.Errorf("%w: width %d out of range", ErrCodecInvalid, w)
+	}
+	flags := data[4]
+	if flags > 7 {
+		return 0, sp, nil, fmt.Errorf("%w: unknown flags %#x", ErrCodecInvalid, flags)
+	}
+	sp.nan = flags&1 != 0
+	sp.posInf = flags&2 != 0
+	sp.negInf = flags&4 != 0
+	return w, sp, data[5:], nil
+}
+
+func appendComponents(buf []byte, idx []int32, dig []int64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(idx)))
+	for k := range idx {
+		buf = binary.AppendVarint(buf, int64(idx[k]))
+		buf = binary.AppendVarint(buf, dig[k])
+	}
+	return buf
+}
+
+func parseComponents(data []byte, w uint) (idx []int32, dig []int64, err error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, ErrCodecTruncated
+	}
+	data = data[n:]
+	if count > 1<<24 {
+		return nil, nil, fmt.Errorf("%w: absurd component count %d", ErrCodecInvalid, count)
+	}
+	r := int64(1) << w
+	idx = make([]int32, 0, count)
+	dig = make([]int64, 0, count)
+	var prev int64 = -1 << 40
+	for k := uint64(0); k < count; k++ {
+		i, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, nil, ErrCodecTruncated
+		}
+		data = data[n:]
+		d, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, nil, ErrCodecTruncated
+		}
+		data = data[n:]
+		if i <= prev {
+			return nil, nil, fmt.Errorf("%w: component indices not strictly ascending", ErrCodecInvalid)
+		}
+		if i < -1<<30 || i > 1<<30 {
+			return nil, nil, fmt.Errorf("%w: component index %d out of range", ErrCodecInvalid, i)
+		}
+		if d <= -r || d >= r {
+			return nil, nil, fmt.Errorf("%w: digit %d outside (α,β) range for W=%d", ErrCodecInvalid, d, w)
+		}
+		prev = i
+		idx = append(idx, int32(i))
+		dig = append(dig, d)
+	}
+	if len(data) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCodecInvalid, len(data))
+	}
+	return idx, dig, nil
+}
+
+// MarshalBinary encodes s. It implements encoding.BinaryMarshaler.
+func (s *Sparse) MarshalBinary() ([]byte, error) {
+	if !s.IsRegularized() {
+		return nil, fmt.Errorf("%w: accumulator not regularized", ErrCodecInvalid)
+	}
+	buf := appendHeader(nil, 'S', s.w, s.sp)
+	return appendComponents(buf, s.idx, s.dig), nil
+}
+
+// UnmarshalBinary decodes into s, replacing its contents. It implements
+// encoding.BinaryUnmarshaler and validates the full encoding.
+func (s *Sparse) UnmarshalBinary(data []byte) error {
+	w, sp, rest, err := parseHeader(data, 'S')
+	if err != nil {
+		return err
+	}
+	idx, dig, err := parseComponents(rest, w)
+	if err != nil {
+		return err
+	}
+	s.w, s.sp, s.idx, s.dig = w, sp, idx, dig
+	return nil
+}
+
+// MarshalBinary encodes d compactly (nonzero digits only). The accumulator
+// is regularized as a side effect. It implements encoding.BinaryMarshaler.
+func (d *Dense) MarshalBinary() ([]byte, error) {
+	d.Regularize()
+	var idx []int32
+	var dig []int64
+	for i, v := range d.dig {
+		if v != 0 {
+			idx = append(idx, int32(d.minIdx+i))
+			dig = append(dig, v)
+		}
+	}
+	buf := appendHeader(nil, 'D', d.w, d.sp)
+	return appendComponents(buf, idx, dig), nil
+}
+
+// UnmarshalBinary decodes into d, replacing its contents. Components
+// outside the double-precision digit range are rejected. It implements
+// encoding.BinaryUnmarshaler.
+func (d *Dense) UnmarshalBinary(data []byte) error {
+	w, sp, rest, err := parseHeader(data, 'D')
+	if err != nil {
+		return err
+	}
+	idx, dig, err := parseComponents(rest, w)
+	if err != nil {
+		return err
+	}
+	nd := NewDense(w)
+	for k, ix := range idx {
+		i := int(ix) - nd.minIdx
+		if i < 0 || i >= len(nd.dig) {
+			return fmt.Errorf("%w: component index %d outside dense range", ErrCodecInvalid, ix)
+		}
+		nd.dig[i] = dig[k]
+	}
+	nd.sp = sp
+	nd.nAdd = 1
+	*d = *nd
+	return nil
+}

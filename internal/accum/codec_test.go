@@ -1,0 +1,185 @@
+package accum
+
+import (
+	"encoding"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parsum/internal/oracle"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*Sparse)(nil)
+	_ encoding.BinaryUnmarshaler = (*Sparse)(nil)
+	_ encoding.BinaryMarshaler   = (*Dense)(nil)
+	_ encoding.BinaryUnmarshaler = (*Dense)(nil)
+)
+
+func TestSparseCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		w := uint(8 + r.Intn(25))
+		xs := randValues(r, 1+r.Intn(60), true)
+		s := sparseOf(xs, w)
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Sparse
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		g1, g2 := s.Round(), back.Round()
+		if g1 != g2 && !(math.IsNaN(g1) && math.IsNaN(g2)) {
+			t.Fatalf("roundtrip value changed: %g vs %g", g1, g2)
+		}
+		if back.Width() != w || back.Len() != s.Len() {
+			t.Fatalf("roundtrip shape changed")
+		}
+	}
+}
+
+func TestDenseCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		w := uint(8 + r.Intn(25))
+		xs := randValues(r, 1+r.Intn(60), true)
+		d := NewDense(w)
+		d.AddSlice(xs)
+		data, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Dense
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		want := oracle.Sum(xs)
+		if got := back.Round(); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("roundtrip=%g oracle=%g", got, want)
+		}
+		// Decoded accumulators must remain usable.
+		back.Add(1.5)
+		d2 := NewDense(w)
+		d2.AddSlice(xs)
+		d2.Add(1.5)
+		ga, gb := back.Round(), d2.Round()
+		if ga != gb && !(math.IsNaN(ga) && math.IsNaN(gb)) {
+			t.Fatalf("decoded accumulator diverged after Add")
+		}
+	}
+}
+
+func TestCodecSpecialsSurvive(t *testing.T) {
+	for _, xs := range [][]float64{
+		{math.Inf(1), 1},
+		{math.Inf(-1)},
+		{math.Inf(1), math.Inf(-1)},
+		{math.NaN()},
+	} {
+		s := NewSparse(0)
+		for _, x := range xs {
+			s.Add(x)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Sparse
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		a, b := s.Round(), back.Round()
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Fatalf("specials lost: %g vs %g", a, b)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	s := sparseOf([]float64{1.5, -3e40, 0x1p-300}, 32)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sparse
+	// Truncations at every prefix length must error, never panic.
+	for i := 0; i < len(data); i++ {
+		if err := back.UnmarshalBinary(data[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+	// Header corruptions.
+	for _, mut := range []struct {
+		pos int
+		val byte
+	}{
+		{0, 0x00}, // magic
+		{1, 'X'},  // kind
+		{2, 99},   // version
+		{3, 64},   // width out of range
+		{4, 0xFF}, // unknown flags
+	} {
+		bad := append([]byte(nil), data...)
+		bad[mut.pos] = mut.val
+		if err := back.UnmarshalBinary(bad); err == nil {
+			t.Fatalf("corruption at %d accepted", mut.pos)
+		}
+	}
+	// Trailing garbage.
+	if err := back.UnmarshalBinary(append(append([]byte(nil), data...), 1, 2, 3)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Kind confusion: a sparse blob must not decode as dense.
+	var dd Dense
+	if err := dd.UnmarshalBinary(data); err == nil {
+		t.Fatal("sparse decoded as dense")
+	}
+}
+
+func TestCodecQuickNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var s Sparse
+		_ = s.UnmarshalBinary(data) // must not panic; error is fine
+		var d Dense
+		_ = d.UnmarshalBinary(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecCrossProcessMergeScenario(t *testing.T) {
+	// The distributed-reducer story: partial sums marshaled, shipped,
+	// unmarshaled, merged — exact end to end.
+	r := rand.New(rand.NewSource(3))
+	xs := randValues(r, 300, true)
+	var blobs [][]byte
+	for lo := 0; lo < len(xs); lo += 50 {
+		hi := lo + 50
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		part := sparseOf(xs[lo:hi], 32)
+		b, err := part.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+	root := NewSparse(32)
+	for _, b := range blobs {
+		var p Sparse
+		if err := p.UnmarshalBinary(b); err != nil {
+			t.Fatal(err)
+		}
+		root = MergeSparse(root, &p)
+	}
+	want := oracle.Sum(xs)
+	if got := root.Round(); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+		t.Fatalf("distributed merge=%g oracle=%g", got, want)
+	}
+}

@@ -1,0 +1,150 @@
+package accum
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// These tests exercise Lemma 1 directly on synthetic (α,β)-regularized
+// digit strings — arbitrary signed digits in [−(R−1), R−1] at arbitrary
+// indices — rather than on accumulators built from float64 inputs, so the
+// merge is validated over the representation's full state space.
+
+// sparseBigValue computes the exact value of a sparse accumulator as a
+// big.Float (digits may sit at any index).
+func sparseBigValue(s *Sparse, t *testing.T) *big.Float {
+	t.Helper()
+	v := new(big.Float).SetPrec(8192)
+	idx, dig := s.Components()
+	for k := range idx {
+		d := new(big.Float).SetPrec(8192).SetInt64(dig[k])
+		m := new(big.Float).SetPrec(8192)
+		e0 := d.MantExp(m)
+		if m.Sign() != 0 {
+			d.SetMantExp(m, e0+int(idx[k])*int(s.w))
+		}
+		v.Add(v, d)
+	}
+	return v
+}
+
+// randRegularizedSparse builds a random well-formed sparse accumulator:
+// strictly ascending indices, digits in [−(R−1), R−1].
+func randRegularizedSparse(r *rand.Rand, w uint, maxLen int) *Sparse {
+	s := NewSparse(w)
+	mask := int64(1)<<w - 1
+	idx := int32(-60 + r.Intn(30))
+	n := r.Intn(maxLen)
+	for k := 0; k < n; k++ {
+		idx += int32(1 + r.Intn(4))
+		d := r.Int63() & mask
+		if r.Intn(2) == 0 {
+			d = -d
+		}
+		s.idx = append(s.idx, idx)
+		s.dig = append(s.dig, d)
+	}
+	return s
+}
+
+func TestLemma1SyntheticMergeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		w := uint(8 + r.Intn(25))
+		a := randRegularizedSparse(r, w, 40)
+		b := randRegularizedSparse(r, w, 40)
+		va := sparseBigValue(a, t)
+		vb := sparseBigValue(b, t)
+		m := MergeSparse(a, b)
+		if !m.IsRegularized() {
+			t.Fatalf("trial %d w=%d: merge violated (α,β) regularity", trial, w)
+		}
+		want := new(big.Float).SetPrec(8192).Add(va, vb)
+		if got := sparseBigValue(m, t); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d w=%d: merge value wrong", trial, w)
+		}
+		// Inputs untouched.
+		if va.Cmp(sparseBigValue(a, t)) != 0 || vb.Cmp(sparseBigValue(b, t)) != 0 {
+			t.Fatalf("trial %d: merge mutated an input", trial)
+		}
+	}
+}
+
+func TestLemma1WorstCaseDigits(t *testing.T) {
+	// All digits at the extreme β = R−1 in both inputs: every component
+	// sum is 2β, every position carries, and the result must still be
+	// regularized with no cascading.
+	for _, w := range []uint{8, 16, 32} {
+		mask := int64(1)<<w - 1
+		a, b := NewSparse(w), NewSparse(w)
+		for i := int32(0); i < 20; i++ {
+			a.idx = append(a.idx, i)
+			a.dig = append(a.dig, mask)
+			b.idx = append(b.idx, i)
+			b.dig = append(b.dig, mask)
+		}
+		m := MergeSparse(a, b)
+		if !m.IsRegularized() {
+			t.Fatalf("w=%d: worst-case all-β merge not regularized: %v", w, m)
+		}
+		want := new(big.Float).SetPrec(8192).Add(sparseBigValue(a, t), sparseBigValue(b, t))
+		if got := sparseBigValue(m, t); got.Cmp(want) != 0 {
+			t.Fatalf("w=%d: worst-case value wrong", w)
+		}
+		// And the extreme negative −α case.
+		for k := range a.dig {
+			a.dig[k] = -mask
+			b.dig[k] = -mask
+		}
+		m = MergeSparse(a, b)
+		if !m.IsRegularized() {
+			t.Fatalf("w=%d: worst-case all-(−α) merge not regularized", w)
+		}
+		// Alternating ±: maximal carry sign flipping.
+		for k := range a.dig {
+			if k%2 == 0 {
+				a.dig[k], b.dig[k] = mask, mask
+			} else {
+				a.dig[k], b.dig[k] = -mask, -mask
+			}
+		}
+		want = new(big.Float).SetPrec(8192).Add(sparseBigValue(a, t), sparseBigValue(b, t))
+		m = MergeSparse(a, b)
+		if !m.IsRegularized() {
+			t.Fatalf("w=%d: alternating merge not regularized", w)
+		}
+		if got := sparseBigValue(m, t); got.Cmp(want) != 0 {
+			t.Fatalf("w=%d: alternating value wrong", w)
+		}
+	}
+}
+
+func TestLemma1CaseBoundaries(t *testing.T) {
+	// Pᵢ = R−1 is the paper's case-1 boundary (C=1), Pᵢ = −R+1 case 2
+	// (C=−1), and Pᵢ = R−2 / −R+2 the no-carry extremes. Each digit pair
+	// below hits one boundary exactly.
+	w := uint(8)
+	r := int64(256)
+	pairs := [][2]int64{
+		{r - 2, 1},           // P = R−1 → carry 1, W = −1
+		{-(r - 2), -1},       // P = −R+1 → carry −1, W = 1
+		{r - 2, 0},           // P = R−2 → no carry
+		{-(r - 2), 0},        // P = −R+2 → no carry
+		{r - 1, r - 1},       // P = 2β
+		{-(r - 1), -(r - 1)}, // P = −2α
+	}
+	for _, p := range pairs {
+		a, b := NewSparse(w), NewSparse(w)
+		a.idx, a.dig = []int32{0}, []int64{p[0]}
+		b.idx, b.dig = []int32{0}, []int64{p[1]}
+		m := MergeSparse(a, b)
+		if !m.IsRegularized() {
+			t.Fatalf("P=%d: not regularized: %v", p[0]+p[1], m)
+		}
+		want := new(big.Float).SetPrec(200).SetInt64(p[0] + p[1])
+		if got := sparseBigValue(m, t); got.Cmp(want) != 0 {
+			t.Fatalf("P=%d: value wrong: %v", p[0]+p[1], m)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package accum
+
+import "parsum/internal/fpnum"
+
+// Small is a Neal-style "small superaccumulator" (Neal 2015, as used by the
+// paper's MapReduce experiments): a dense array of 64-bit signed chunks at a
+// fixed 32-bit spacing covering the full double-precision range. Unlike
+// Dense it maintains no (α,β) GSD invariant: merging two accumulators
+// requires a full sequential carry-propagation pass, which is exactly the
+// carry chain the paper's representation eliminates (see the carry-depth
+// ablation in internal/pram).
+type Small struct {
+	dig    []int64
+	minIdx int
+	nAdd   int
+	maxAdd int
+	sp     special
+}
+
+const smallWidth = 32
+
+// NewSmall returns an empty small superaccumulator.
+func NewSmall() *Small {
+	minIdx, maxIdx := digitBounds(smallWidth)
+	return &Small{
+		dig:    make([]int64, maxIdx-minIdx+1),
+		minIdx: minIdx,
+		maxAdd: maxLazyAdds(smallWidth),
+	}
+}
+
+// Add accumulates x exactly.
+func (s *Small) Add(x float64) {
+	c := fpnum.Classify(x)
+	if c != fpnum.ClassFinite {
+		s.sp.note(c)
+		return
+	}
+	if s.nAdd >= s.maxAdd {
+		s.Propagate()
+	}
+	s.nAdd++
+	neg, m, e := fpnum.Decompose(x)
+	k := floorDiv(e, smallWidth)
+	off := uint(e - k*smallWidth)
+	lo := m << off
+	hi := uint64(0)
+	if off != 0 {
+		hi = m >> (64 - off)
+	}
+	i := k - s.minIdx
+	if neg {
+		for lo != 0 || hi != 0 {
+			s.dig[i] -= int64(lo & 0xFFFFFFFF)
+			lo = lo>>smallWidth | hi<<smallWidth
+			hi >>= smallWidth
+			i++
+		}
+		return
+	}
+	for lo != 0 || hi != 0 {
+		s.dig[i] += int64(lo & 0xFFFFFFFF)
+		lo = lo>>smallWidth | hi<<smallWidth
+		hi >>= smallWidth
+		i++
+	}
+}
+
+// AddSlice accumulates every element of xs exactly.
+func (s *Small) AddSlice(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// Propagate performs the full sequential carry-propagation pass, leaving
+// every chunk but the topmost in [0, 2^32). This is the inherently
+// sequential step the paper's carry-free representation avoids.
+func (s *Small) Propagate() {
+	var c int64
+	last := len(s.dig) - 1
+	for i := 0; i < last; i++ {
+		v := s.dig[i] + c
+		s.dig[i] = v & 0xFFFFFFFF
+		c = v >> smallWidth
+	}
+	s.dig[last] += c
+	s.nAdd = 0
+}
+
+// Merge adds o into s, propagating carries eagerly (the carry-propagating
+// baseline behaviour).
+func (s *Small) Merge(o *Small) {
+	s.sp.merge(o.sp)
+	for i, v := range o.dig {
+		s.dig[i] += v
+	}
+	s.Propagate()
+}
+
+// Round returns the correctly rounded float64 value of the exact sum.
+func (s *Small) Round() float64 {
+	if v, ok := s.sp.resolved(); ok {
+		return v
+	}
+	s.Propagate()
+	return roundDigits(s.dig, s.minIdx, smallWidth)
+}
+
+// Reset returns the accumulator to the empty state.
+func (s *Small) Reset() {
+	for i := range s.dig {
+		s.dig[i] = 0
+	}
+	s.nAdd = 0
+	s.sp = special{}
+}
+
+// EncodedSize returns the bytes a dense binary encoding would occupy; used
+// by the MapReduce engine to account shuffle volume.
+func (s *Small) EncodedSize() int { return 8 * len(s.dig) }

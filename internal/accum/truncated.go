@@ -1,0 +1,176 @@
+package accum
+
+import (
+	"math"
+
+	"parsum/internal/fpnum"
+)
+
+// Truncated is the paper's γ-truncated sparse superaccumulator (Section 4):
+// the γ most-significant active components of a sparse superaccumulator,
+// together with the bookkeeping the condition-number-sensitive algorithm
+// needs for its stopping condition — whether anything was ever dropped, and
+// the least-significant retained index.
+type Truncated struct {
+	S         *Sparse
+	Gamma     int
+	Truncated bool // whether any component has been dropped by truncation
+
+	// DropCount and MaxDropIdx track the dropped components across the
+	// whole merge history: at most DropCount components were dropped, each
+	// of magnitude < R^(MaxDropIdx+1). They feed StopStrict, a
+	// self-contained certificate that complements the paper's ε_min
+	// argument.
+	DropCount  int64
+	MaxDropIdx int32
+}
+
+// NewTruncated wraps s, truncating it to its γ most-significant components.
+func NewTruncated(s *Sparse, gamma int) *Truncated {
+	t := &Truncated{S: s, Gamma: gamma}
+	t.truncate()
+	return t
+}
+
+// truncate drops components from the least-significant end until at most
+// γ remain, recording what was dropped.
+func (t *Truncated) truncate() {
+	if t.Gamma <= 0 || len(t.S.idx) <= t.Gamma {
+		return
+	}
+	drop := len(t.S.idx) - t.Gamma
+	// Components are stored in ascending index order, so the least
+	// significant are at the front.
+	for k, v := range t.S.dig[:drop] {
+		if v != 0 {
+			if !t.Truncated || t.S.idx[k] > t.MaxDropIdx {
+				t.MaxDropIdx = t.S.idx[k]
+			}
+			t.Truncated = true
+			t.DropCount++
+		}
+	}
+	t.S.idx = append(t.S.idx[:0], t.S.idx[drop:]...)
+	t.S.dig = append(t.S.dig[:0], t.S.dig[drop:]...)
+}
+
+// MergeTruncated merges two γ-truncated sparse superaccumulators: a full
+// Lemma 1 carry-free sparse merge followed by re-truncation to γ components.
+func MergeTruncated(a, b *Truncated, gamma int) *Truncated {
+	t := &Truncated{
+		S:         MergeSparse(a.S, b.S),
+		Gamma:     gamma,
+		Truncated: a.Truncated || b.Truncated,
+		DropCount: a.DropCount + b.DropCount,
+	}
+	if a.Truncated {
+		t.MaxDropIdx = a.MaxDropIdx
+	}
+	if b.Truncated && (!a.Truncated || b.MaxDropIdx > t.MaxDropIdx) {
+		t.MaxDropIdx = b.MaxDropIdx
+	}
+	t.truncate()
+	return t
+}
+
+// LeastExponent returns the binary weight 2^e of the smallest value
+// representable in the least-significant retained component (the paper's
+// ε_min = ε·2^{E_{i_r}}, with the smallest mantissa ε = 1), and ok = false
+// when the accumulator is empty.
+func (t *Truncated) LeastExponent() (e int, ok bool) {
+	if len(t.S.idx) == 0 {
+		return 0, false
+	}
+	return int(t.S.idx[0]) * int(t.S.w), true
+}
+
+// StopFloat reports whether the paper's primary stopping condition holds
+// for a summation of n inputs: letting y be the rounded value of the
+// truncated sum and ε_min the least representable magnitude of the last
+// retained component, y must be unchanged by a floating-point addition or
+// subtraction of n·ε_min — i.e. everything that could have been truncated
+// (strictly less than n·ε_min in total magnitude) cannot move the result.
+// If nothing was ever truncated the sum is exact and the condition holds
+// trivially.
+func (t *Truncated) StopFloat(n int) bool {
+	if !t.Truncated {
+		return true
+	}
+	e, ok := t.LeastExponent()
+	if !ok {
+		return false // everything truncated away; cannot certify
+	}
+	y := t.S.Round()
+	if math.IsNaN(y) {
+		return true // NaN comes from input specials, which are never truncated
+	}
+	if math.IsInf(y, 0) {
+		// A truncated sum that rounds to ±Inf cannot be certified: the
+		// dropped mass could pull the exact sum back into finite range.
+		return false
+	}
+	// The ⊕/⊖ test with the raw bound B certifies only B ≤ gap/2 (ties
+	// included), which still allows the exact sum to land exactly one
+	// float beyond y (unfaithful by a hair). Testing with 2B enforces
+	// B ≤ gap/4 < gap/2 strictly, which guarantees faithfulness.
+	bound := math.Ldexp(float64(n), e+1)
+	if math.IsInf(bound, 0) {
+		return false
+	}
+	return y == y+bound && y == y-bound
+}
+
+// StopStrict is a self-contained alternative certificate: the total dropped
+// mass is bounded by DropCount components each below R^(MaxDropIdx+1), with
+// an extra factor of two absorbing the float arithmetic of the bound
+// itself. It does not depend on the relationship between dropped indices
+// and the retained ones that the paper's ε_min argument uses.
+func (t *Truncated) StopStrict() bool {
+	if !t.Truncated {
+		return true
+	}
+	y := t.S.Round()
+	if math.IsNaN(y) {
+		return true
+	}
+	if math.IsInf(y, 0) {
+		return false
+	}
+	// +1 absorbs the float arithmetic of the bound itself; the further +1
+	// enforces the strict bound < gap/2 that faithfulness needs (see
+	// StopFloat).
+	bound := math.Ldexp(float64(t.DropCount), (int(t.MaxDropIdx)+1)*int(t.S.w)+2)
+	if math.IsInf(bound, 0) {
+		return false
+	}
+	return y == y+bound && y == y-bound
+}
+
+// StopExponentGap reports the paper's simplified alternative stopping
+// condition: the exponent of the least significant bit of y is at least
+// ⌈log₂ n⌉ greater than E_{i_r}.
+func (t *Truncated) StopExponentGap(n int) bool {
+	if !t.Truncated {
+		return true
+	}
+	e, ok := t.LeastExponent()
+	if !ok {
+		return false
+	}
+	y := t.S.Round()
+	if math.IsNaN(y) {
+		return true
+	}
+	if math.IsInf(y, 0) {
+		return false
+	}
+	if y == 0 {
+		return false // a truncated sum that rounds to zero proves nothing
+	}
+	logn := 0
+	for v := 1; v < n; v <<= 1 {
+		logn++
+	}
+	// +2 bits of margin for the same strictness reason as StopFloat.
+	return fpnum.ExpOfLSB(y) >= e+logn+2
+}

@@ -1,0 +1,93 @@
+// Package baseline implements the sequential summation algorithms the
+// paper's evaluation compares against, plus standard mid-accuracy methods
+// used as context in the sequential shoot-out benchmark:
+//
+//   - Naive: left-to-right ⊕ accumulation (no accuracy guarantee).
+//   - Kahan: compensated summation.
+//   - Neumaier: improved Kahan (Kahan–Babuška), robust to |x| > |s|.
+//   - Pairwise: tree summation with O(log n) error growth.
+//   - DemmelHida: sum in decreasing order of exponent (Demmel & Hida 2004);
+//     highly accurate but not guaranteed faithfully rounded, exactly as the
+//     paper notes in Section 1.1.
+//   - IFastSum: the state-of-the-art exact sequential algorithm of
+//     Zhu & Hayes (2009), the paper's Figure 1–3 comparator. Our Go
+//     reimplementation follows the published distillation structure and
+//     certifies correct rounding with an explicit error bound; see
+//     IFastSum for the details and the (rare) superaccumulator fallback.
+package baseline
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// distillationStalls counts iFastSum invocations that exhausted the
+// distillation pass budget and fell back to a superaccumulator. Tests
+// assert it stays zero on the paper's four distributions.
+var distillationStalls atomic.Int64
+
+// DistillationStalls reports how many iFastSum calls hit the stall
+// fallback since process start.
+func DistillationStalls() int64 { return distillationStalls.Load() }
+
+// Naive returns the left-to-right floating-point sum of xs.
+func Naive(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Kahan returns the compensated (Kahan) sum of xs.
+func Kahan(xs []float64) float64 {
+	var s, c float64
+	for _, x := range xs {
+		y := x - c
+		t := s + y
+		c = (t - s) - y
+		s = t
+	}
+	return s
+}
+
+// Neumaier returns the Kahan–Babuška sum of xs, which remains accurate when
+// individual summands exceed the running sum.
+func Neumaier(xs []float64) float64 {
+	var s, c float64
+	for _, x := range xs {
+		t := s + x
+		if math.Abs(s) >= math.Abs(x) {
+			c += (s - t) + x
+		} else {
+			c += (x - t) + s
+		}
+		s = t
+	}
+	return s + c
+}
+
+// pairwiseBase is the block size below which Pairwise sums naively.
+const pairwiseBase = 128
+
+// Pairwise returns the pairwise (tree) sum of xs.
+func Pairwise(xs []float64) float64 {
+	if len(xs) <= pairwiseBase {
+		return Naive(xs)
+	}
+	mid := len(xs) / 2
+	return Pairwise(xs[:mid]) + Pairwise(xs[mid:])
+}
+
+// DemmelHida sums xs in decreasing order of magnitude (a proxy for the
+// decreasing-exponent order of Demmel & Hida 2004). The input is not
+// modified. The result is highly accurate but, as the paper points out,
+// not necessarily faithfully rounded.
+func DemmelHida(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Slice(ys, func(i, j int) bool {
+		return math.Abs(ys[i]) > math.Abs(ys[j])
+	})
+	return Naive(ys)
+}

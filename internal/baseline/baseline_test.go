@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parsum/internal/gen"
+	"parsum/internal/oracle"
+)
+
+func TestIFastSumSimple(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{42}, 42},
+		{[]float64{1, 2, 3}, 6},
+		{[]float64{1e100, 1, -1e100}, 1},
+		{[]float64{1e100, 1, -1e100, 0x1p-1074}, 1},
+		{[]float64{0x1p1023, 0x1p1023, -0x1p1023}, 0x1p1023},
+		{[]float64{1, 0x1p-53}, 1},                      // tie to even
+		{[]float64{1, 0x1p-53, 0x1p-1074}, 1 + 0x1p-52}, // sticky breaks tie
+	}
+	for _, c := range cases {
+		if got := IFastSum(c.xs); got != c.want {
+			t.Errorf("IFastSum(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestIFastSumMatchesOracleRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(1200)-600)
+		}
+		got, want := IFastSum(xs), oracle.Sum(xs)
+		if got != want {
+			t.Fatalf("trial %d: IFastSum=%g oracle=%g", trial, got, want)
+		}
+	}
+}
+
+func TestIFastSumOnPaperDistributions(t *testing.T) {
+	before := DistillationStalls()
+	for _, d := range gen.AllDists {
+		for _, delta := range []int{10, 300, 2000} {
+			xs := gen.New(gen.Config{Dist: d, N: 5000, Delta: delta, Seed: 77}).Slice()
+			got, want := IFastSum(xs), oracle.Sum(xs)
+			if got != want {
+				t.Fatalf("%v δ=%d: IFastSum=%g oracle=%g", d, delta, got, want)
+			}
+		}
+	}
+	if DistillationStalls() != before {
+		t.Fatalf("iFastSum stalled on a paper distribution")
+	}
+}
+
+func TestIFastSumPassesGrowWithDifficulty(t *testing.T) {
+	easy := gen.New(gen.Config{Dist: gen.CondOne, N: 20000, Delta: 30, Seed: 5}).Slice()
+	hard := gen.New(gen.Config{Dist: gen.SumZero, N: 20000, Delta: 2000, Seed: 5}).Slice()
+	_, pe := IFastSumStats(easy)
+	_, ph := IFastSumStats(hard)
+	if ph <= pe {
+		t.Fatalf("expected more distillation passes on Sum=Zero δ=2000 (%d) than C(X)=1 δ=30 (%d)", ph, pe)
+	}
+}
+
+func TestIFastSumOverflowFallback(t *testing.T) {
+	// The exact sum is finite but the running ⊕ prefix overflows.
+	xs := []float64{math.MaxFloat64, math.MaxFloat64, -math.MaxFloat64, -math.MaxFloat64, 1}
+	if got := IFastSum(xs); got != 1 {
+		t.Fatalf("overflowing prefix: got %g, want 1", got)
+	}
+	// Genuinely infinite sums resolve per IEEE.
+	if got := IFastSum([]float64{math.MaxFloat64, math.MaxFloat64}); !math.IsInf(got, 1) {
+		t.Fatalf("got %g, want +Inf", got)
+	}
+	if got := IFastSum([]float64{math.Inf(1), 1}); !math.IsInf(got, 1) {
+		t.Fatalf("got %g, want +Inf", got)
+	}
+	if got := IFastSum([]float64{math.Inf(1), math.Inf(-1)}); !math.IsNaN(got) {
+		t.Fatalf("got %g, want NaN", got)
+	}
+}
+
+func TestIFastSumDoesNotModifyInput(t *testing.T) {
+	xs := []float64{1e100, 1, -1e100, 0.5}
+	cp := append([]float64(nil), xs...)
+	IFastSum(xs)
+	for i := range xs {
+		if xs[i] != cp[i] {
+			t.Fatalf("input modified at %d", i)
+		}
+	}
+}
+
+func TestIFastSumQuick(t *testing.T) {
+	f := func(raw []uint64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, b := range raw {
+			x := math.Float64frombits(b)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		return IFastSum(xs) == oracle.Sum(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveKahanNeumaierPairwiseBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for name, f := range map[string]func([]float64) float64{
+		"naive": Naive, "kahan": Kahan, "neumaier": Neumaier,
+		"pairwise": Pairwise, "demmelhida": DemmelHida,
+	} {
+		if got := f(xs); got != 15 {
+			t.Errorf("%s = %g, want 15", name, got)
+		}
+		if got := f(nil); got != 0 {
+			t.Errorf("%s(nil) = %g, want 0", name, got)
+		}
+	}
+}
+
+func TestNeumaierBeatsKahanOnLargeSummand(t *testing.T) {
+	// Classic case: [1, 1e100, 1, -1e100] — Kahan loses the small terms.
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := Neumaier(xs); got != 2 {
+		t.Errorf("Neumaier = %g, want 2", got)
+	}
+	if got := Kahan(xs); got == 2 {
+		t.Skip("Kahan unexpectedly exact here; platform FMA contraction?")
+	}
+}
+
+func TestPairwiseAccuracyOrdering(t *testing.T) {
+	// On ill-conditioned data: |pairwise−exact| ≤ |naive−exact| is typical
+	// (not guaranteed); check error bounds rather than strict ordering.
+	xs := gen.New(gen.Config{Dist: gen.Anderson, N: 100000, Delta: 30, Seed: 3}).Slice()
+	exact := oracle.Sum(xs)
+	absSum := oracle.AbsSum(xs)
+	for name, f := range map[string]func([]float64) float64{
+		"kahan": Kahan, "neumaier": Neumaier, "pairwise": Pairwise,
+	} {
+		err := math.Abs(f(xs) - exact)
+		// Generous bound: c·n·eps·Σ|x|.
+		if err > 1e-10*absSum {
+			t.Errorf("%s error %g too large vs Σ|x|=%g", name, err, absSum)
+		}
+	}
+}
+
+func TestDemmelHidaHighAccuracy(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 5000, Delta: 400, Seed: 9}).Slice()
+	exact := oracle.Sum(xs)
+	got := DemmelHida(xs)
+	if exact == 0 {
+		t.Skip("degenerate exact zero")
+	}
+	rel := math.Abs(got-exact) / math.Abs(exact)
+	if rel > 1e-9 {
+		t.Fatalf("DemmelHida relative error %g", rel)
+	}
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"math"
+
+	"parsum/internal/accum"
+	"parsum/internal/eft"
+	"parsum/internal/fpnum"
+)
+
+// IFastSum returns the correctly rounded sum of xs using the distillation
+// approach of Zhu & Hayes (2009), the paper's sequential comparator. The
+// input slice is not modified (use IFastSumInPlace to avoid the copy).
+func IFastSum(xs []float64) float64 {
+	buf := append([]float64(nil), xs...)
+	return IFastSumInPlace(buf)
+}
+
+// IFastSumInPlace is IFastSum operating destructively on xs.
+func IFastSumInPlace(xs []float64) float64 {
+	v, _ := iFastSum(xs)
+	return v
+}
+
+// IFastSumStats reports the result together with the number of distillation
+// passes performed — the quantity that grows with the difficulty (condition
+// number and exponent spread δ) of the input, which is what makes iFastSum
+// slow on the paper's dataset 4 at large δ. The input is copied.
+func IFastSumStats(xs []float64) (sum float64, passes int) {
+	buf := append([]float64(nil), xs...)
+	return iFastSum(buf)
+}
+
+// iFastSum distills xs in place: each pass replaces the array with the
+// exact TwoSum residues of a sequential accumulation, preserving the exact
+// total s + Σxᵢ, until an explicit bound on the residue certifies that s is
+// the correctly rounded total.
+//
+// Certification: after a pass, truth = s + e₁ + E with |E| ≤ em =
+// count·½ulp(max|running sum|), since every TwoSum residue is at most half
+// an ulp of its rounded sum. If fl(s ± 2(|e₁|+em)) == s then the whole
+// interval [s−2b, s+2b] rounds to s (rounding is monotone), so the truth
+// does too; this yields correct rounding, which implies the faithful
+// rounding the paper requires.
+//
+// Robustness beyond the published algorithm: error-free transforms break
+// down if any intermediate ⊕ overflows or an input is non-finite, so a
+// cheap Σ|x| pre-scan routes such inputs to the exact superaccumulator
+// instead; a pass-count cap does the same for (never observed) distillation
+// stalls. Tests assert the fallback stays cold on the paper's four
+// distributions.
+func iFastSum(xs []float64) (float64, int) {
+	var absSum float64
+	for _, x := range xs {
+		absSum += math.Abs(x)
+	}
+	if math.IsInf(absSum, 0) || math.IsNaN(absSum) {
+		// Possible intermediate overflow (the exact sum may still be
+		// finite) or non-finite inputs: both are outside EFT territory.
+		return fallback(xs), 1
+	}
+	var s float64
+	n := len(xs)
+	for i := 0; i < n; i++ {
+		s, xs[i] = eft.TwoSum(s, xs[i])
+	}
+	const maxPasses = 1000
+	for pass := 2; pass <= maxPasses; pass++ {
+		count := 0
+		var st, sm float64
+		for i := 0; i < n; i++ {
+			var b float64
+			st, b = eft.TwoSum(st, xs[i])
+			if b != 0 {
+				xs[count] = b
+				count++
+				if a := math.Abs(st); a > sm {
+					sm = a
+				}
+			}
+		}
+		em := float64(count) * fpnum.HalfUlp(sm)
+		var e1 float64
+		s, e1 = eft.TwoSum(s, st)
+		// Truth = s + e1 + E with |E| ≤ em.
+		if em == 0 {
+			// Truth is exactly s + e1, and s = fl(s+e1) by construction.
+			return s, pass
+		}
+		// Bracket the residue interval [e1−em, e1+em] with one-ulp slack to
+		// absorb the rounding of the endpoint computations themselves; if
+		// both bracketing endpoints round onto s, monotonicity of rounding
+		// puts the truth there too.
+		lo := math.Nextafter(e1-em, math.Inf(-1))
+		hi := math.Nextafter(e1+em, math.Inf(1))
+		if s+lo == s && s+hi == s {
+			return s, pass
+		}
+		if e1 != 0 {
+			xs[count] = e1
+			count++
+		}
+		n = count
+		if n == 0 {
+			return s, pass
+		}
+	}
+	distillationStalls.Add(1)
+	w := accum.NewWindow(0)
+	w.Add(s)
+	w.AddSlice(xs[:n])
+	return w.Round(), maxPasses
+}
+
+// fallback computes the exact rounded sum with a superaccumulator; used for
+// inputs outside the domain of error-free transforms.
+func fallback(xs []float64) float64 {
+	w := accum.NewWindow(0)
+	w.AddSlice(xs)
+	return w.Round()
+}

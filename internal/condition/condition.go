@@ -1,0 +1,63 @@
+// Package condition computes the condition number of a summation problem,
+//
+//	C(X) = Σ|xᵢ| / |Σxᵢ|,
+//
+// exactly (both sums are accumulated in superaccumulators and rounded
+// once). The paper's condition-number-sensitive algorithm (Theorem 4) has
+// running time and work bounds parameterized by log C(X); the experiment
+// harness uses this package to place measured work on that axis.
+package condition
+
+import (
+	"math"
+
+	"parsum/internal/accum"
+)
+
+// Number returns C(X) for the finite values xs. Conventions:
+//   - empty input or all-zero input: 1 (perfectly conditioned),
+//   - exact zero sum of a nonzero input: +Inf (the paper notes C is
+//     undefined there; +Inf sorts such inputs as "hardest"),
+//   - any NaN or Inf input: NaN.
+func Number(xs []float64) float64 {
+	num, den := Parts(xs)
+	if math.IsNaN(num) || math.IsNaN(den) || math.IsInf(num, 0) || math.IsInf(den, 0) {
+		return math.NaN()
+	}
+	if num == 0 {
+		return 1
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / math.Abs(den)
+}
+
+// Parts returns (Σ|xᵢ|, Σxᵢ), each correctly rounded from its exact value.
+func Parts(xs []float64) (absSum, sum float64) {
+	a, s := accum.NewWindow(0), accum.NewWindow(0)
+	for _, x := range xs {
+		a.Add(math.Abs(x))
+		s.Add(x)
+	}
+	return a.Round(), s.Round()
+}
+
+// Log2 returns log₂ C(X), clamped below at 0 — the quantity the paper's
+// Theorem 4 bounds are expressed in (with logarithms defined to be at least
+// 1 there; callers add their own floor). Returns +Inf for zero sums and NaN
+// for invalid inputs.
+func Log2(xs []float64) float64 {
+	c := Number(xs)
+	if math.IsNaN(c) {
+		return math.NaN()
+	}
+	if math.IsInf(c, 1) {
+		return math.Inf(1)
+	}
+	l := math.Log2(c)
+	if l < 0 {
+		return 0
+	}
+	return l
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"parsum/internal/accum"
+)
+
+// AdaptiveStats reports what the condition-number-sensitive algorithm did:
+// how many truncation rounds ran, the final truncation bound r, the total
+// work (superaccumulator components processed across all merges and
+// rounds — the quantity Theorem 4 bounds by O(n·log C(X))), and whether the
+// result was certified by the stopping condition or by exactness (nothing
+// ever truncated).
+type AdaptiveStats struct {
+	Rounds    int
+	FinalR    int
+	Work      int64
+	Exact     bool // final round truncated nothing — result is exact
+	Certified bool // stopping condition held (always true on return)
+}
+
+// SumAdaptive implements the paper's Section 4 algorithm: bottom-up
+// summation over an implicit binary tree using r-truncated sparse
+// superaccumulators, starting at r = 2 and squaring r each round until the
+// stopping condition certifies a faithfully rounded result or nothing is
+// truncated (making the sum exact). Returns the rounded sum and statistics.
+//
+// For well-conditioned inputs the first round (r = 2) already certifies, so
+// the total work is linear — matching the paper's observation that the
+// method is condition-number sensitive.
+func SumAdaptive(xs []float64, opt Options) (float64, AdaptiveStats) {
+	var st AdaptiveStats
+	n := len(xs)
+	if n == 0 {
+		st.Certified = true
+		st.Exact = true
+		return 0, st
+	}
+	w := opt.Width
+	for r := 2; ; r = r * r {
+		st.Rounds++
+		st.FinalR = r
+		t := adaptiveMerge(xs, r, w, opt.chunkSize(), &st.Work)
+		if !t.Truncated {
+			st.Exact = true
+			st.Certified = true
+			return t.S.Round(), st
+		}
+		if t.StopFloat(n) && t.StopStrict() {
+			st.Certified = true
+			return t.S.Round(), st
+		}
+		// Squaring r beyond any possible accumulator size means the next
+		// round cannot truncate; loop once more and exit via !Truncated.
+	}
+}
+
+// adaptiveMerge performs the bottom-up truncated merge over xs[lo:hi],
+// recursing like the paper's summation tree. Leaves are converted in
+// blocks (an exact window accumulation of a chunk, truncated afterwards)
+// rather than one float at a time; this is the same tree with its lowest
+// log₂(chunk) levels collapsed, and it truncates strictly less than the
+// per-element tree would, so the stopping-condition soundness argument is
+// unchanged.
+func adaptiveMerge(xs []float64, r int, width uint, chunk int, work *int64) *accum.Truncated {
+	if len(xs) <= chunk {
+		a := accum.NewWindow(width)
+		a.AddSlice(xs)
+		*work += int64(len(xs))
+		s := a.ToSparse()
+		*work += int64(s.Len())
+		return accum.NewTruncated(s, r)
+	}
+	mid := len(xs) / 2
+	left := adaptiveMerge(xs[:mid], r, width, chunk, work)
+	right := adaptiveMerge(xs[mid:], r, width, chunk, work)
+	*work += int64(left.S.Len() + right.S.Len())
+	return accum.MergeTruncated(left, right, r)
+}

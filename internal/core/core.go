@@ -1,0 +1,177 @@
+// Package core implements the paper's summation algorithms on top of the
+// superaccumulator representations in internal/accum:
+//
+//   - Sum / SumSparse: sequential exact summation (convert, accumulate
+//     exactly, round once) — the paper's Section 3 sequential building
+//     block, used by the MapReduce combiners.
+//   - SumParallel: the shared-memory parallel summation tree. Chunks of the
+//     input are accumulated exactly by a pool of goroutines and the partial
+//     superaccumulators are merged carry-free (Lemma 1), so the result is
+//     the same exact, correctly rounded value for every worker count and
+//     every merge order.
+//   - SumAdaptive: the condition-number-sensitive algorithm of Section 4,
+//     using γ-truncated sparse superaccumulators with the truncation bound
+//     squared every round until a certified stopping condition holds.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"parsum/internal/accum"
+)
+
+// Options configures the parallel and adaptive algorithms. The zero value
+// is ready to use.
+type Options struct {
+	// Width is the superaccumulator digit width W (radix 2^W); 0 means
+	// accum.DefaultWidth.
+	Width uint
+	// Workers is the number of concurrent goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// ChunkSize is the number of elements accumulated per leaf task;
+	// 0 means a default sized for cache friendliness.
+	ChunkSize int
+	// UseSparse selects window/sparse accumulators for the leaves instead
+	// of dense ones (trades fixed footprint for σ(n)-proportional state).
+	UseSparse bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return 1 << 16
+}
+
+// Sum returns the correctly rounded (hence faithfully rounded) sum of xs,
+// computed exactly with a dense superaccumulator.
+func Sum(xs []float64) float64 {
+	d := accum.NewDense(0)
+	d.AddSlice(xs)
+	return d.Round()
+}
+
+// SumSparse returns the correctly rounded sum of xs computed exactly with a
+// sparse (active-window) superaccumulator.
+func SumSparse(xs []float64) float64 {
+	w := accum.NewWindow(0)
+	w.AddSlice(xs)
+	return w.Round()
+}
+
+// SumParallel returns the correctly rounded sum of xs computed exactly by
+// opt.Workers goroutines. The result is bit-identical for every worker
+// count, chunk size, and merge order, because every partial result is an
+// exact superaccumulator.
+func SumParallel(xs []float64, opt Options) float64 {
+	p := opt.workers()
+	if p <= 1 || len(xs) <= opt.chunkSize() {
+		if opt.UseSparse {
+			return SumSparse(xs)
+		}
+		return Sum(xs)
+	}
+	if opt.UseSparse {
+		return parallelSparse(xs, p, opt)
+	}
+	return parallelDense(xs, p, opt)
+}
+
+// parallelDense fans chunk accumulation out to p goroutines, each owning
+// one dense accumulator, then merges the partials.
+func parallelDense(xs []float64, p int, opt Options) float64 {
+	chunk := opt.chunkSize()
+	var next int
+	var mu sync.Mutex
+	parts := make([]*accum.Dense, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := accum.NewDense(opt.Width)
+			for {
+				mu.Lock()
+				lo := next
+				next += chunk
+				mu.Unlock()
+				if lo >= len(xs) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(xs) {
+					hi = len(xs)
+				}
+				d.AddSlice(xs[lo:hi])
+			}
+			parts[w] = d
+		}(w)
+	}
+	wg.Wait()
+	root := parts[0]
+	root.Regularize()
+	for _, d := range parts[1:] {
+		d.Regularize()
+		root.AddRegularized(d) // Lemma 1 carry-free merge
+	}
+	return root.Round()
+}
+
+// parallelSparse is parallelDense with window accumulators at the leaves
+// and carry-free sparse merges at the root.
+func parallelSparse(xs []float64, p int, opt Options) float64 {
+	chunk := opt.chunkSize()
+	var next int
+	var mu sync.Mutex
+	parts := make([]*accum.Sparse, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := accum.NewWindow(opt.Width)
+			for {
+				mu.Lock()
+				lo := next
+				next += chunk
+				mu.Unlock()
+				if lo >= len(xs) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(xs) {
+					hi = len(xs)
+				}
+				a.AddSlice(xs[lo:hi])
+			}
+			parts[w] = a.ToSparse()
+		}(w)
+	}
+	wg.Wait()
+	root := parts[0]
+	for _, s := range parts[1:] {
+		root = accum.MergeSparse(root, s)
+	}
+	return root.Round()
+}
+
+// Sum32 returns the correctly rounded float32 value of the exact sum of
+// xs. Each float32 converts to float64 exactly, the sum is accumulated
+// exactly, and a single rounding targets binary32 — so there is no double
+// rounding (summing in float64 and converting would misround near
+// binary32 rounding boundaries).
+func Sum32(xs []float32) float32 {
+	d := accum.NewDense(0)
+	for _, x := range xs {
+		d.Add(float64(x))
+	}
+	return d.Round32()
+}

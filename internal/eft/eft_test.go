@@ -1,0 +1,154 @@
+package eft
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// exactSumEquals reports whether a+b == s+e exactly, using big.Float.
+func exactSumEquals(a, b, s, e float64) bool {
+	const prec = 300
+	lhs := new(big.Float).SetPrec(prec).SetFloat64(a)
+	lhs.Add(lhs, new(big.Float).SetPrec(prec).SetFloat64(b))
+	rhs := new(big.Float).SetPrec(prec).SetFloat64(s)
+	rhs.Add(rhs, new(big.Float).SetPrec(prec).SetFloat64(e))
+	return lhs.Cmp(rhs) == 0
+}
+
+func finiteRand(r *rand.Rand) float64 {
+	for {
+		x := math.Float64frombits(r.Uint64())
+		// Keep magnitudes in a range where x+y cannot overflow and the
+		// error term cannot be below the subnormal range (EFT identities
+		// hold without caveats there).
+		if !math.IsNaN(x) && !math.IsInf(x, 0) && (x == 0 || (math.Abs(x) > 1e-300 && math.Abs(x) < 1e300)) {
+			return x
+		}
+	}
+}
+
+func TestTwoSumExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b := finiteRand(r), finiteRand(r)
+		s, e := TwoSum(a, b)
+		if s != a+b {
+			t.Fatalf("TwoSum(%g,%g) s=%g, want fl(a+b)=%g", a, b, s, a+b)
+		}
+		if !exactSumEquals(a, b, s, e) {
+			t.Fatalf("TwoSum(%g,%g) = (%g,%g): a+b ≠ s+e", a, b, s, e)
+		}
+	}
+}
+
+func TestFastTwoSumExact(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a, b := finiteRand(r), finiteRand(r)
+		if math.Abs(a) < math.Abs(b) {
+			a, b = b, a
+		}
+		s, e := FastTwoSum(a, b)
+		if !exactSumEquals(a, b, s, e) {
+			t.Fatalf("FastTwoSum(%g,%g) = (%g,%g): a+b ≠ s+e", a, b, s, e)
+		}
+	}
+}
+
+func TestTwoSumKnownCases(t *testing.T) {
+	cases := []struct{ a, b, s, e float64 }{
+		{1, 0x1p-53, 1, 0x1p-53},
+		{0x1p53, 1, 0x1p53, 1},
+		{1, 1, 2, 0},
+	}
+	for _, c := range cases {
+		s, e := TwoSum(c.a, c.b)
+		if s != c.s {
+			t.Errorf("TwoSum(%g,%g).s = %g, want %g", c.a, c.b, s, c.s)
+		}
+		if !exactSumEquals(c.a, c.b, s, e) {
+			t.Errorf("TwoSum(%g,%g): identity violated", c.a, c.b)
+		}
+	}
+}
+
+func TestSplit26Bits(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := finiteRand(r)
+		hi, lo := Split(a)
+		if hi+lo != a {
+			t.Fatalf("Split(%g): hi+lo = %g", a, hi+lo)
+		}
+		// Each part fits in 26 significant bits: scaling to an integer
+		// representation must be exact at 26-bit width.
+		for _, part := range []float64{hi, lo} {
+			if part == 0 {
+				continue
+			}
+			fr, _ := math.Frexp(part)
+			m := fr * (1 << 26)
+			if m != math.Trunc(m) {
+				t.Fatalf("Split(%g) part %g has more than 26 bits", a, part)
+			}
+		}
+	}
+}
+
+func TestTwoProdAgreesWithDekker(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		// Constrain magnitudes so neither product nor error over/underflows.
+		a := math.Ldexp(r.Float64()*2-1, r.Intn(200)-100)
+		b := math.Ldexp(r.Float64()*2-1, r.Intn(200)-100)
+		p1, e1 := TwoProd(a, b)
+		p2, e2 := TwoProdDekker(a, b)
+		if p1 != p2 || e1 != e2 {
+			t.Fatalf("TwoProd(%g,%g) = (%g,%g), Dekker gives (%g,%g)", a, b, p1, e1, p2, e2)
+		}
+	}
+}
+
+func TestSum2CompensatesModestConditioning(t *testing.T) {
+	// Σ of n values around 1 plus tiny noise: naive drifts, Sum2 does not.
+	n := 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.0 + float64(i%7)*0x1p-30
+	}
+	got := Sum2(xs)
+	var want float64 = 0
+	// Exact: n + 2^-30 * Σ(i mod 7) — computable in integers.
+	var frac int64
+	for i := 0; i < n; i++ {
+		frac += int64(i % 7)
+	}
+	want = float64(n) + float64(frac)*0x1p-30
+	if got != want {
+		t.Fatalf("Sum2 = %.20g, want %.20g", got, want)
+	}
+}
+
+func TestTwoSumQuick(t *testing.T) {
+	f := func(ab [2]uint64) bool {
+		a := math.Float64frombits(ab[0])
+		b := math.Float64frombits(ab[1])
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e300 || math.Abs(b) > 1e300 {
+			return true // avoid overflow of fl(a+b)
+		}
+		s, e := TwoSum(a, b)
+		if math.IsInf(s, 0) {
+			return true
+		}
+		return exactSumEquals(a, b, s, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package expansion implements Shewchuk-style floating-point expansions:
+// values represented exactly as sums of nonoverlapping float64 components
+// in increasing-magnitude order (Shewchuk, "Adaptive Precision
+// Floating-Point Arithmetic and Fast Robust Geometric Predicates", 1997).
+//
+// The paper discusses this representation as prior work: it is exact and
+// adaptive, but — unlike the paper's (α,β)-regularized superaccumulator —
+// its component boundaries are data-dependent (arbitrary exponents rather
+// than multiples of a fixed radix), so two expansions cannot be merged
+// component-wise in O(1) parallel depth; summation remains inherently
+// sequential. The package exists as an exact sequential baseline and as
+// the substrate for robust geometric predicates.
+//
+// All operations assume no intermediate overflow (|values| comfortably
+// below MaxFloat64), the standard assumption of expansion arithmetic.
+package expansion
+
+import (
+	"math"
+
+	"parsum/internal/eft"
+	"parsum/internal/fpnum"
+)
+
+// Expansion is a nonoverlapping expansion: components in increasing order
+// of magnitude, each nonzero, whose exact sum is the represented value.
+// The empty expansion represents zero.
+type Expansion []float64
+
+// FromFloat64 returns the expansion of a single float64.
+func FromFloat64(x float64) Expansion {
+	if x == 0 {
+		return nil
+	}
+	return Expansion{x}
+}
+
+// Grow adds the scalar b to e, returning a nonoverlapping expansion of the
+// exact sum (Shewchuk's GROW-EXPANSION with zero elimination).
+func Grow(e Expansion, b float64) Expansion {
+	h := make(Expansion, 0, len(e)+1)
+	q := b
+	for _, ei := range e {
+		var lo float64
+		q, lo = eft.TwoSum(q, ei)
+		if lo != 0 {
+			h = append(h, lo)
+		}
+	}
+	if q != 0 {
+		h = append(h, q)
+	}
+	return h
+}
+
+// Add returns the exact sum of two expansions (Shewchuk's
+// EXPANSION-SUM: f's components grown into e one at a time, preserving the
+// nonoverlapping invariant).
+func Add(e, f Expansion) Expansion {
+	out := e
+	for _, fi := range f {
+		out = Grow(out, fi)
+	}
+	return out
+}
+
+// Compress canonicalizes e into an equivalent expansion whose largest
+// component is a good approximation of the value (Shewchuk's COMPRESS),
+// usually shrinking the component count.
+func Compress(e Expansion) Expansion {
+	if len(e) == 0 {
+		return nil
+	}
+	// Top-down accumulation.
+	g := make(Expansion, len(e))
+	q := e[len(e)-1]
+	bottom := len(e) - 1
+	for i := len(e) - 2; i >= 0; i-- {
+		var lo float64
+		q, lo = eft.FastTwoSum(q, e[i])
+		if lo != 0 {
+			g[bottom] = q
+			bottom--
+			q = lo
+		}
+	}
+	g[bottom] = q
+	// Bottom-up pass.
+	h := make(Expansion, 0, len(e))
+	q = g[bottom]
+	for i := bottom + 1; i < len(g); i++ {
+		var lo float64
+		q, lo = eft.FastTwoSum(g[i], q)
+		if lo != 0 {
+			h = append(h, lo)
+		}
+	}
+	if q != 0 || len(h) == 0 {
+		h = append(h, q)
+	}
+	if len(h) == 1 && h[0] == 0 {
+		return nil
+	}
+	return h
+}
+
+// Estimate returns a one-ulp-accurate approximation of e's value (the sum
+// of components, smallest first).
+func Estimate(e Expansion) float64 {
+	var s float64
+	for _, c := range e {
+		s += c
+	}
+	return s
+}
+
+// Check verifies the nonoverlapping increasing-magnitude invariant: every
+// component is finite and nonzero, and the most significant bit of each
+// component lies strictly below the least significant bit of the next.
+func Check(e Expansion) bool {
+	for i, c := range e {
+		if c == 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+			return false
+		}
+		if i > 0 {
+			if fpnum.ExpOfMSB(e[i-1]) >= fpnum.ExpOfLSB(c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Sum computes the exact expansion of Σxs by repeated growing, compressing
+// periodically to bound the component count. It is the package's exact
+// sequential summation baseline; inputs must be finite and must not
+// overflow intermediate sums.
+func Sum(xs []float64) Expansion {
+	var e Expansion
+	budget := 64
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		e = Grow(e, x)
+		if len(e) > budget {
+			e = Compress(e)
+			if len(e)*2 > budget {
+				budget = len(e) * 2
+			}
+		}
+	}
+	return Compress(e)
+}

@@ -1,0 +1,169 @@
+package expansion
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parsum/internal/accum"
+	"parsum/internal/gen"
+	"parsum/internal/oracle"
+)
+
+// value sums an expansion exactly with big.Float for verification.
+func value(e Expansion) *big.Float {
+	s := new(big.Float).SetPrec(2200)
+	for _, c := range e {
+		s.Add(s, new(big.Float).SetPrec(2200).SetFloat64(c))
+	}
+	return s
+}
+
+// round converts an expansion to the correctly rounded float64 via the
+// superaccumulator (exact, few components).
+func round(e Expansion) float64 {
+	w := accum.NewWindow(0)
+	w.AddSlice(e)
+	return w.Round()
+}
+
+func valuesEqual(e Expansion, xs []float64) bool {
+	want := oracle.SumBig(xs)
+	return want != nil && value(e).Cmp(want) == 0
+}
+
+func TestGrowPreservesValueAndInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		var e Expansion
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(600)-300)
+			e = Grow(e, xs[i])
+			if !Check(e) {
+				t.Fatalf("trial %d: invariant broken after %d grows: %v", trial, i+1, e)
+			}
+		}
+		if !valuesEqual(e, xs) {
+			t.Fatalf("trial %d: value not preserved", trial)
+		}
+	}
+}
+
+func TestAddExpansions(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 1+r.Intn(20))
+		ys := make([]float64, 1+r.Intn(20))
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(400)-200)
+		}
+		for i := range ys {
+			ys[i] = math.Ldexp(r.Float64()*2-1, r.Intn(400)-200)
+		}
+		e := Sum(xs)
+		f := Sum(ys)
+		g := Add(e, f)
+		if !Check(g) {
+			t.Fatalf("Add broke invariant")
+		}
+		if !valuesEqual(g, append(append([]float64(nil), xs...), ys...)) {
+			t.Fatalf("Add lost value")
+		}
+	}
+}
+
+func TestCompressShrinksAndPreserves(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 1+r.Intn(60))
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(800)-400)
+		}
+		var e Expansion
+		for _, x := range xs {
+			e = Grow(e, x)
+		}
+		c := Compress(e)
+		if !Check(c) {
+			t.Fatalf("Compress broke invariant: %v", c)
+		}
+		if len(c) > len(e) {
+			t.Fatalf("Compress grew the expansion: %d → %d", len(e), len(c))
+		}
+		if value(c).Cmp(value(e)) != 0 {
+			t.Fatalf("Compress changed the value")
+		}
+		// Compressed largest component approximates the value to ~1 ulp.
+		if len(c) > 0 {
+			v, _ := value(c).Float64()
+			top := c[len(c)-1]
+			if top != v && math.Nextafter(top, v) != v {
+				t.Fatalf("top component %g not within 1 ulp of value %g", top, v)
+			}
+		}
+	}
+}
+
+func TestSumMatchesOracleOnDistributions(t *testing.T) {
+	for _, d := range gen.AllDists {
+		// Moderate δ: expansion arithmetic is the baseline that degrades
+		// with spread, so keep runtimes sane.
+		xs := gen.New(gen.Config{Dist: d, N: 2000, Delta: 500, Seed: 5}).Slice()
+		e := Sum(xs)
+		if !Check(e) {
+			t.Fatalf("%v: invariant broken", d)
+		}
+		got, want := round(e), oracle.Sum(xs)
+		if got != want {
+			t.Fatalf("%v: expansion=%g oracle=%g", d, got, want)
+		}
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 3000, Delta: 300, Seed: 6}).Slice()
+	e := Sum(xs)
+	est := Estimate(e)
+	exact := oracle.Sum(xs)
+	if est != exact && math.Nextafter(est, exact) != exact {
+		t.Fatalf("Estimate %g more than 1 ulp from %g", est, exact)
+	}
+}
+
+func TestZeroHandling(t *testing.T) {
+	if e := Sum([]float64{0, 0, 0}); len(e) != 0 {
+		t.Fatalf("zero sum expansion = %v", e)
+	}
+	if e := Sum([]float64{1, -1}); len(e) != 0 {
+		t.Fatalf("cancelled expansion = %v, want empty", e)
+	}
+	if e := FromFloat64(0); len(e) != 0 {
+		t.Fatalf("FromFloat64(0) = %v", e)
+	}
+	if got := round(Sum(nil)); got != 0 {
+		t.Fatalf("empty expansion rounds to %g", got)
+	}
+}
+
+func TestExpansionQuick(t *testing.T) {
+	f := func(raw []uint64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, b := range raw {
+			x := math.Float64frombits(b)
+			// Expansion arithmetic assumes no overflow: bound magnitudes.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		e := Sum(xs)
+		return Check(e) && round(e) == oracle.Sum(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package extmem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parsum/internal/accum"
+	"parsum/internal/gen"
+	"parsum/internal/oracle"
+)
+
+func TestFileReaderWriterIOAccounting(t *testing.T) {
+	m := NewModel(8, 64)
+	f := NewFile[float64](m)
+	w := f.NewWriter()
+	for i := 0; i < 20; i++ {
+		w.Append(float64(i))
+	}
+	w.Close()
+	if m.Writes != 3 { // ⌈20/8⌉
+		t.Fatalf("writes = %d, want 3", m.Writes)
+	}
+	r := f.NewReader()
+	n := 0
+	for {
+		_, ok := r.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 20 || m.Reads != 3 {
+		t.Fatalf("read %d records with %d block reads", n, m.Reads)
+	}
+}
+
+func TestExternalSortCorrectAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 5000} {
+		m := NewModel(16, 64) // tiny memory forces multiple merge passes
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		f := FromSlice(m, xs)
+		s := ExternalSort(m, f, func(a, b float64) bool { return a < b })
+		out := s.Slice()
+		if len(out) != n {
+			t.Fatalf("n=%d: sorted %d records", n, len(out))
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+		if n > 0 {
+			// Measured I/Os within a small constant of the textbook bound.
+			if m.IOs() > 3*m.SortIOs(int64(n))+10 {
+				t.Fatalf("n=%d: %d I/Os exceeds 3·sort(n)=%d", n, m.IOs(), 3*m.SortIOs(int64(n)))
+			}
+		}
+	}
+}
+
+func TestScanSumExactAndScanBounded(t *testing.T) {
+	for _, d := range gen.AllDists {
+		xs := gen.New(gen.Config{Dist: d, N: 20000, Delta: 1500, Seed: 4}).Slice()
+		want := oracle.Sum(xs)
+		m := NewModel(1024, 8192)
+		got, err := ScanSum(m, FromSlice(m, xs), 0)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if got != want {
+			t.Fatalf("%v: ScanSum=%g oracle=%g", d, got, want)
+		}
+		if m.IOs() > m.ScanIOs(int64(len(xs)))+2 {
+			t.Fatalf("%v: %d I/Os exceeds scan(n)=%d", d, m.IOs(), m.ScanIOs(int64(len(xs))))
+		}
+	}
+}
+
+func TestScanSumMemoryGate(t *testing.T) {
+	// δ=2000 data spans ~63 digit indices at W=32; M=40 records with a
+	// window that large must be refused.
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 5000, Delta: 2000, Seed: 5}).Slice()
+	m := NewModel(10, 40)
+	if _, err := ScanSum(m, FromSlice(m, xs), 0); err == nil {
+		t.Fatalf("expected ErrMemory for σ > M")
+	}
+}
+
+func TestSortSumExactOnDistributions(t *testing.T) {
+	for _, d := range gen.AllDists {
+		for _, delta := range []int{10, 800, 2000} {
+			xs := gen.New(gen.Config{Dist: d, N: 8000, Delta: delta, Seed: 6}).Slice()
+			want := oracle.Sum(xs)
+			m := NewModel(64, 256) // memory far smaller than the data
+			got, err := SortSum(m, FromSlice(m, xs), 0)
+			if err != nil {
+				t.Fatalf("%v δ=%d: %v", d, delta, err)
+			}
+			if got != want {
+				t.Fatalf("%v δ=%d: SortSum=%g oracle=%g", d, delta, got, want)
+			}
+		}
+	}
+}
+
+func TestSortSumTinyMemory(t *testing.T) {
+	// The hot-window property: SortSum succeeds with M too small for the
+	// whole accumulator (ScanSum refuses the same model).
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 3000, Delta: 2000, Seed: 7}).Slice()
+	m := NewModel(10, 40)
+	if _, err := ScanSum(m, FromSlice(m, xs), 0); err == nil {
+		t.Fatal("setup: ScanSum should refuse M=40")
+	}
+	m2 := NewModel(10, 40)
+	got, err := SortSum(m2, FromSlice(m2, xs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle.Sum(xs); got != want {
+		t.Fatalf("SortSum=%g oracle=%g", got, want)
+	}
+}
+
+func TestSortSumNegativeTotalsAndEdges(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0, 0, 0},
+		{-1},
+		{-1e300, 1},
+		{1e300, -1e300},
+		{-0x1p-1074},
+		{-0x1p-1074, -0x1p-1074},
+		{0x1p1000, -0x1p1000, -0x1p-1000},
+		{math.MaxFloat64, math.MaxFloat64}, // overflow → +Inf
+		{-math.MaxFloat64, -math.MaxFloat64},
+		{math.Inf(1), 5},
+		{math.Inf(1), math.Inf(-1)},
+		{math.NaN(), 1},
+		{-3.5, -4.25, 1e-8},
+	}
+	for _, xs := range cases {
+		want := oracle.Sum(xs)
+		m := NewModel(4, 16)
+		got, err := SortSum(m, FromSlice(m, xs), 0)
+		if err != nil {
+			t.Fatalf("%v: %v", xs, err)
+		}
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("SortSum(%v) = %g, want %g", xs, got, want)
+		}
+	}
+}
+
+func TestSortSumRandomWidths(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		w := uint(8 + r.Intn(25))
+		n := 1 + r.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(1800)-900)
+		}
+		want := oracle.Sum(xs)
+		m := NewModel(8, 32)
+		got, err := SortSum(m, FromSlice(m, xs), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d w=%d: SortSum=%g oracle=%g", trial, w, got, want)
+		}
+	}
+}
+
+func TestSortSumIOWithinSortBound(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 50000, Delta: 500, Seed: 9}).Slice()
+	m := NewModel(256, 2048)
+	if _, err := SortSum(m, FromSlice(m, xs), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Components ≤ 3n; conversion adds scan(n)+scan(3n); spill+rescan add
+	// O(scan(σ)). Everything is O(sort(3n)).
+	bound := 4 * m.SortIOs(3*int64(len(xs)))
+	if m.IOs() > bound {
+		t.Fatalf("%d I/Os exceeds 4·sort(3n)=%d", m.IOs(), bound)
+	}
+}
+
+func TestStreamRounderAgainstDirectRounding(t *testing.T) {
+	// Push canonical digit strings at random gaps and compare with direct
+	// rounding of the same digits.
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		w := uint(8 + r.Intn(25))
+		mask := int64(1)<<w - 1
+		nd := 1 + r.Intn(30)
+		idx := make([]int, nd)
+		digs := make([]int64, nd)
+		cur := -40 + r.Intn(10)
+		for i := 0; i < nd; i++ {
+			cur += 1 + r.Intn(4)
+			idx[i] = cur
+			digs[i] = r.Int63() & mask
+			if digs[i] == 0 {
+				digs[i] = 1
+			}
+		}
+		sr := newStreamRounder(w)
+		for i := range idx {
+			sr.push(idx[i], digs[i])
+		}
+		got := sr.finish(false)
+		// Direct: materialize the whole span.
+		lo, hi := idx[0], idx[nd-1]
+		win := make([]int64, hi-lo+1)
+		for i := range idx {
+			win[idx[i]-lo] += digs[i]
+		}
+		want := roundViaAccum(win, lo, w)
+		if got != want {
+			t.Fatalf("trial %d w=%d: stream=%g direct=%g", trial, w, got, want)
+		}
+	}
+}
+
+func roundViaAccum(win []int64, minIdx int, w uint) float64 {
+	return accumRound(win, minIdx, w)
+}
+
+func accumRound(win []int64, minIdx int, w uint) float64 {
+	return accum.RoundDigitString(win, minIdx, w)
+}

@@ -1,0 +1,138 @@
+// Package extmem implements the paper's external-memory summation
+// algorithms (Section 5) on a simulated I/O model in the style of
+// Aggarwal–Vitter: data lives in "files" of fixed-size blocks, an algorithm
+// may hold at most M records in internal memory, and the model counts every
+// block read and write. ScanSum realizes Theorem 6 (O(scan(n)) I/Os when
+// the accumulator fits in memory); SortSum realizes Theorem 5 (O(sort(n))
+// I/Os in general, with an O(1)-block hot window over the accumulator, so
+// it works even when M is far smaller than the accumulator).
+package extmem
+
+// Model is an external-memory cost model: block size B and internal memory
+// capacity M, both in records, plus I/O counters. One "record" is a
+// float64 or a superaccumulator component; the model charges one read
+// (write) per block of B records moved in (out).
+type Model struct {
+	B int // records per block
+	M int // internal memory capacity, in records
+
+	Reads  int64 // blocks read
+	Writes int64 // blocks written
+}
+
+// NewModel returns a model with the given block size and memory capacity.
+// M must be at least 4 blocks for the sort to make progress.
+func NewModel(b, m int) *Model {
+	if b < 1 {
+		panic("extmem: block size must be positive")
+	}
+	if m < 4*b {
+		panic("extmem: internal memory must hold at least four blocks")
+	}
+	return &Model{B: b, M: m}
+}
+
+// IOs returns the total number of block transfers so far.
+func (m *Model) IOs() int64 { return m.Reads + m.Writes }
+
+// ScanIOs returns the model's scan(n) = ⌈n/B⌉, the I/O cost of one
+// sequential pass over n records.
+func (m *Model) ScanIOs(n int64) int64 {
+	return (n + int64(m.B) - 1) / int64(m.B)
+}
+
+// SortIOs returns the textbook sort(n) bound 2·(n/B)·(1+⌈log_{M/B}(n/M)⌉)
+// block transfers (read+write per pass, run formation plus merge passes).
+func (m *Model) SortIOs(n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	passes := int64(1) // run formation
+	runs := (n + int64(m.M) - 1) / int64(m.M)
+	fan := int64(m.B)
+	if f := int64(m.M/m.B) - 1; f > 1 {
+		fan = f
+	} else {
+		fan = 2
+	}
+	for runs > 1 {
+		runs = (runs + fan - 1) / fan
+		passes++
+	}
+	return 2 * m.ScanIOs(n) * passes
+}
+
+// File is a sequence of records on the simulated disk.
+type File[T any] struct {
+	m    *Model
+	data []T
+}
+
+// NewFile returns an empty file in model m.
+func NewFile[T any](m *Model) *File[T] { return &File[T]{m: m} }
+
+// FromSlice returns a file pre-populated with xs (representing input that
+// is already on disk; no I/Os are charged for creating it).
+func FromSlice[T any](m *Model, xs []T) *File[T] { return &File[T]{m: m, data: xs} }
+
+// Len returns the number of records in the file.
+func (f *File[T]) Len() int64 { return int64(len(f.data)) }
+
+// Slice exposes the raw records for test verification (no I/O charged;
+// tests only).
+func (f *File[T]) Slice() []T { return f.data }
+
+// Reader reads a file sequentially, charging one read per block.
+type Reader[T any] struct {
+	f   *File[T]
+	pos int
+}
+
+// NewReader returns a sequential reader over f.
+func (f *File[T]) NewReader() *Reader[T] { return &Reader[T]{f: f} }
+
+// NewReaderAt returns a sequential reader starting at record off (charging
+// reads from the containing block onward).
+func (f *File[T]) NewReaderAt(off int64) *Reader[T] { return &Reader[T]{f: f, pos: int(off)} }
+
+// Next returns the next record, charging a read at each block boundary.
+func (r *Reader[T]) Next() (T, bool) {
+	var zero T
+	if r.pos >= len(r.f.data) {
+		return zero, false
+	}
+	if r.pos%r.f.m.B == 0 {
+		r.f.m.Reads++
+	}
+	v := r.f.data[r.pos]
+	r.pos++
+	return v, true
+}
+
+// Writer appends records to a file, charging one write per filled block and
+// one for the final partial block on Close.
+type Writer[T any] struct {
+	f       *File[T]
+	pending int
+}
+
+// NewWriter returns an appending writer for f.
+func (f *File[T]) NewWriter() *Writer[T] { return &Writer[T]{f: f} }
+
+// Append adds one record.
+func (w *Writer[T]) Append(v T) {
+	w.f.data = append(w.f.data, v)
+	w.pending++
+	if w.pending == w.f.m.B {
+		w.f.m.Writes++
+		w.pending = 0
+	}
+}
+
+// Close flushes the final partial block, if any.
+func (w *Writer[T]) Close() {
+	if w.pending > 0 {
+		w.f.m.Writes++
+		w.pending = 0
+	}
+}

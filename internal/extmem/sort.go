@@ -1,0 +1,105 @@
+package extmem
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// ExternalSort sorts f by less using the standard M-record run formation
+// followed by (M/B − 1)-way merge passes, charging I/Os through the model.
+// It returns a new sorted file; f is not modified.
+func ExternalSort[T any](m *Model, f *File[T], less func(a, b T) bool) *File[T] {
+	// Run formation: read M records at a time, sort in memory, write runs.
+	var runs []*File[T]
+	rd := f.NewReader()
+	for {
+		buf := make([]T, 0, m.M)
+		for len(buf) < m.M {
+			v, ok := rd.Next()
+			if !ok {
+				break
+			}
+			buf = append(buf, v)
+		}
+		if len(buf) == 0 {
+			break
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+		run := NewFile[T](m)
+		w := run.NewWriter()
+		for _, v := range buf {
+			w.Append(v)
+		}
+		w.Close()
+		runs = append(runs, run)
+	}
+	if len(runs) == 0 {
+		return NewFile[T](m)
+	}
+
+	// Merge passes: fan-in limited by one block per input run plus one
+	// output block in memory.
+	fan := m.M/m.B - 1
+	if fan < 2 {
+		fan = 2
+	}
+	for len(runs) > 1 {
+		var next []*File[T]
+		for lo := 0; lo < len(runs); lo += fan {
+			hi := lo + fan
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			next = append(next, mergeRuns(m, runs[lo:hi], less))
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// mergeItem is a heap entry for the k-way merge.
+type mergeItem[T any] struct {
+	v   T
+	src int
+}
+
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int           { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool { return h.less(h.items[i].v, h.items[j].v) }
+func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x any)         { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// mergeRuns k-way merges sorted runs into one sorted run.
+func mergeRuns[T any](m *Model, runs []*File[T], less func(a, b T) bool) *File[T] {
+	out := NewFile[T](m)
+	w := out.NewWriter()
+	readers := make([]*Reader[T], len(runs))
+	h := &mergeHeap[T]{less: less}
+	for i, r := range runs {
+		readers[i] = r.NewReader()
+		if v, ok := readers[i].Next(); ok {
+			h.items = append(h.items, mergeItem[T]{v, i})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem[T])
+		w.Append(it.v)
+		if v, ok := readers[it.src].Next(); ok {
+			heap.Push(h, mergeItem[T]{v, it.src})
+		}
+	}
+	w.Close()
+	return out
+}

@@ -1,0 +1,71 @@
+package fpnum
+
+import "math"
+
+// Format describes a binary floating-point destination format for rounding:
+// the paper's algorithms are precision-independent (parameterized by the
+// significand width t and exponent width l), and the final
+// round-to-nearest-even step can target any such format. The fields mirror
+// the ±m·2^e integral decomposition used throughout this package.
+type Format struct {
+	// SigBits is the number of significand bits including the implicit
+	// bit (t+1 in the paper's notation; 53 for float64, 24 for float32).
+	SigBits int
+	// MinExp is the binary weight of the least significant representable
+	// bit (−1074 for float64, −149 for float32).
+	MinExp int
+	// MaxExp is the largest value of e in the ±m·2^e decomposition with
+	// m < 2^SigBits (971 for float64, 104 for float32).
+	MaxExp int
+}
+
+// Binary64 and Binary32 are the two IEEE 754 formats this library rounds
+// to natively. Any other Format (e.g. binary16 or a custom width) works
+// with RoundToFormat; only the float64-valued return type limits the
+// magnitude range to binary64's.
+var (
+	Binary64 = Format{SigBits: 53, MinExp: -1074, MaxExp: 971}
+	Binary32 = Format{SigBits: 24, MinExp: -149, MaxExp: 104}
+)
+
+// RoundToFormat assembles the correctly rounded (round-to-nearest-even)
+// value of ±(sig + ε)·2^e in the destination format f, returned as a
+// float64 that is exactly representable in f (or ±Inf on overflow). Here
+// sig is the significand aligned so its least significant bit has weight
+// e, round is the bit of weight e−1, and sticky reports whether any
+// lower-weight bit is nonzero. Callers must present sig already reduced to
+// at most f.SigBits bits with e ≥ f.MinExp (the generic digit-string
+// rounder in internal/accum does this).
+func RoundToFormat(f Format, neg bool, sig uint64, e int, round, sticky bool) float64 {
+	if sig >= 1<<uint(f.SigBits) {
+		panic("fpnum: RoundToFormat significand too wide")
+	}
+	if round && (sticky || sig&1 != 0) {
+		sig++
+		if sig == 1<<uint(f.SigBits) {
+			sig >>= 1
+			e++
+		}
+	}
+	if sig == 0 {
+		if neg {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	// Normalize against the format's bounds to detect overflow.
+	ms := sig
+	me := e
+	for ms < 1<<uint(f.SigBits-1) && me > f.MinExp {
+		ms <<= 1
+		me--
+	}
+	if me > f.MaxExp {
+		return math.Inf(sign(neg))
+	}
+	v := math.Ldexp(float64(sig), e) // exact: sig ≤ 2^53 and e within range
+	if neg {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,228 @@
+// Package fpnum provides bit-level utilities for IEEE 754 double-precision
+// floating-point numbers: decomposition into integer significand and
+// exponent, reassembly with round-to-nearest-even, ulp arithmetic, and the
+// classification helpers the superaccumulator representations are built on.
+//
+// Throughout this package a finite nonzero float64 x is written as
+//
+//	x = ±m · 2^e
+//
+// with integer significand m in [1, 2^53) and e in [MinExp, MaxExp]. This is
+// the "integral" decomposition: e is the binary weight of the least
+// significant bit of m, not the IEEE biased exponent.
+package fpnum
+
+import "math"
+
+const (
+	// MantBits is the number of stored significand bits of a float64.
+	MantBits = 52
+	// SigBits is the number of significant bits including the implicit bit.
+	SigBits = 53
+	// ExpBits is the number of exponent bits of a float64.
+	ExpBits = 11
+	// Bias is the IEEE 754 double-precision exponent bias.
+	Bias = 1023
+	// MinExp is the smallest value of e in the ±m·2^e decomposition
+	// (the weight of the least significant subnormal bit).
+	MinExp = -1074
+	// MaxExp is the largest value of e in the ±m·2^e decomposition:
+	// the largest double is (2^53−1)·2^971.
+	MaxExp = 971
+	// MaxBitPos is the highest binary weight any finite double occupies
+	// (the most significant bit of MaxFloat64 has weight 1023).
+	MaxBitPos = 1023
+	// MinNormalExp is the unbiased exponent of the smallest normal double.
+	MinNormalExp = -1022
+)
+
+const (
+	signMask = 1 << 63
+	expMask  = 0x7FF << MantBits
+	fracMask = 1<<MantBits - 1
+)
+
+// Decompose splits a finite, nonzero float64 into a sign, an integer
+// significand m in [1, 2^53), and an exponent e such that x = ±m·2^e.
+// The significand of a subnormal has fewer than 53 bits; the significand is
+// not normalized (its low bit may be zero).
+//
+// Decompose must not be called with 0, ±Inf, or NaN; use Class to screen.
+func Decompose(x float64) (neg bool, m uint64, e int) {
+	b := math.Float64bits(x)
+	neg = b&signMask != 0
+	biased := int(b>>MantBits) & 0x7FF
+	m = b & fracMask
+	if biased == 0 {
+		// Subnormal: no implicit bit, fixed exponent.
+		return neg, m, MinExp
+	}
+	return neg, m | 1<<MantBits, biased - Bias - MantBits
+}
+
+// Class describes a float64 for the purposes of exact accumulation.
+type Class int
+
+// Classification of float64 values.
+const (
+	ClassFinite Class = iota // finite and nonzero
+	ClassZero                // +0 or −0
+	ClassPosInf
+	ClassNegInf
+	ClassNaN
+)
+
+// Classify reports which accumulation class x falls into.
+func Classify(x float64) Class {
+	b := math.Float64bits(x)
+	if b&expMask != expMask {
+		if b&^uint64(signMask) == 0 {
+			return ClassZero
+		}
+		return ClassFinite
+	}
+	if b&fracMask != 0 {
+		return ClassNaN
+	}
+	if b&signMask != 0 {
+		return ClassNegInf
+	}
+	return ClassPosInf
+}
+
+// Compose builds the float64 with value m·2^e (times −1 if neg), assuming the
+// value is exactly representable: m < 2^53 and no rounding required. It is
+// the inverse of Decompose. Values that overflow return ±Inf; values whose
+// low-order bits would be lost panic (callers must pre-round).
+func Compose(neg bool, m uint64, e int) float64 {
+	if m == 0 {
+		if neg {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	if m >= 1<<SigBits {
+		panic("fpnum: Compose significand overflow")
+	}
+	// Normalize so the implicit bit is set, or construct a subnormal.
+	for m < 1<<MantBits && e > MinExp {
+		m <<= 1
+		e--
+	}
+	for m >= 1<<SigBits {
+		if m&1 != 0 {
+			panic("fpnum: Compose would lose bits")
+		}
+		m >>= 1
+		e++
+	}
+	if e > MaxExp {
+		return math.Inf(sign(neg))
+	}
+	var b uint64
+	if m < 1<<MantBits {
+		// Subnormal (only valid at e == MinExp).
+		if e != MinExp {
+			panic("fpnum: Compose subnormal with wrong exponent")
+		}
+		b = m
+	} else {
+		b = uint64(e+Bias+MantBits)<<MantBits | (m & fracMask)
+	}
+	if neg {
+		b |= signMask
+	}
+	return math.Float64frombits(b)
+}
+
+func sign(neg bool) int {
+	if neg {
+		return -1
+	}
+	return 1
+}
+
+// Ulp returns the unit in the last place of x: the gap between |x| and the
+// next float64 of larger magnitude. Ulp of 0 is the smallest subnormal.
+// Ulp of ±Inf or NaN is NaN.
+func Ulp(x float64) float64 {
+	switch Classify(x) {
+	case ClassNaN, ClassPosInf, ClassNegInf:
+		return math.NaN()
+	case ClassZero:
+		return math.Float64frombits(1)
+	}
+	_, _, e := Decompose(x)
+	_ = e
+	biased := int(math.Float64bits(x)>>MantBits) & 0x7FF
+	if biased == 0 {
+		return math.Float64frombits(1)
+	}
+	ue := biased - Bias - MantBits
+	if ue < MinExp {
+		ue = MinExp
+	}
+	return math.Ldexp(1, ue)
+}
+
+// HalfUlp returns Ulp(x)/2, saturating at the smallest subnormal so the
+// result is never zero for finite x. It bounds the roundoff of a single
+// floating-point addition whose result is x.
+func HalfUlp(x float64) float64 {
+	u := Ulp(x)
+	h := u / 2
+	if h == 0 {
+		return u
+	}
+	return h
+}
+
+// ExpOfLSB returns the binary weight of the least significant set bit of the
+// finite nonzero x (the largest k such that x is an integer multiple of 2^k).
+func ExpOfLSB(x float64) int {
+	_, m, e := Decompose(x)
+	for m&1 == 0 {
+		m >>= 1
+		e++
+	}
+	return e
+}
+
+// ExpOfMSB returns the binary weight of the most significant set bit of the
+// finite nonzero x, i.e. floor(log2 |x|).
+func ExpOfMSB(x float64) int {
+	_, m, e := Decompose(x)
+	n := 0
+	for m > 1 {
+		m >>= 1
+		n++
+	}
+	return e + n
+}
+
+// RoundFromParts assembles the correctly rounded (round-to-nearest-even)
+// float64 for the exact value ±(sig + tail·2^-∞)·2^e, where sig is a 53-bit
+// significand aligned so that its least significant bit has weight e, round
+// is the bit of weight e−1, and sticky reports whether any lower-weight bit
+// is nonzero. It handles carries out of rounding, overflow to ±Inf, and
+// subnormal callers (sig may have fewer than 53 significant bits when the
+// caller has already right-aligned a subnormal result).
+func RoundFromParts(neg bool, sig uint64, e int, round, sticky bool) float64 {
+	if round && (sticky || sig&1 != 0) {
+		sig++
+		if sig == 1<<SigBits {
+			sig >>= 1
+			e++
+		}
+	}
+	if sig == 0 {
+		if neg {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	if e > MaxExp || (e == MaxExp && sig >= 1<<SigBits) {
+		return math.Inf(sign(neg))
+	}
+	return Compose(neg, sig, e)
+}

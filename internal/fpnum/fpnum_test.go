@@ -1,0 +1,183 @@
+package fpnum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeKnown(t *testing.T) {
+	cases := []struct {
+		x   float64
+		neg bool
+		m   uint64
+		e   int
+	}{
+		{1, false, 1 << 52, -52},
+		{-1, true, 1 << 52, -52},
+		{2, false, 1 << 52, -51},
+		{0.5, false, 1 << 52, -53},
+		{3, false, 3 << 51, -51},
+		{math.SmallestNonzeroFloat64, false, 1, -1074},
+		{-math.SmallestNonzeroFloat64, true, 1, -1074},
+		{math.MaxFloat64, false, 1<<53 - 1, 971},
+		{0x1p-1022, false, 1 << 52, -1074},     // smallest normal
+		{0x1p-1022 / 2, false, 1 << 51, -1074}, // subnormal
+	}
+	for _, c := range cases {
+		neg, m, e := Decompose(c.x)
+		if neg != c.neg || m != c.m || e != c.e {
+			t.Errorf("Decompose(%g) = (%v, %#x, %d), want (%v, %#x, %d)",
+				c.x, neg, m, e, c.neg, c.m, c.e)
+		}
+	}
+}
+
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	f := func(b uint64) bool {
+		x := math.Float64frombits(b)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			return true
+		}
+		neg, m, e := Decompose(x)
+		return Compose(neg, m, e) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeValueIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		x := math.Float64frombits(r.Uint64())
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			continue
+		}
+		neg, m, e := Decompose(x)
+		v := math.Ldexp(float64(m), e) // exact: m has ≤53 bits
+		if neg {
+			v = -v
+		}
+		if v != x {
+			t.Fatalf("Decompose(%g): m·2^e = %g", x, v)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		x float64
+		c Class
+	}{
+		{0, ClassZero},
+		{math.Copysign(0, -1), ClassZero},
+		{1, ClassFinite},
+		{math.SmallestNonzeroFloat64, ClassFinite},
+		{math.MaxFloat64, ClassFinite},
+		{math.Inf(1), ClassPosInf},
+		{math.Inf(-1), ClassNegInf},
+		{math.NaN(), ClassNaN},
+	}
+	for _, c := range cases {
+		if got := Classify(c.x); got != c.c {
+			t.Errorf("Classify(%g) = %v, want %v", c.x, got, c.c)
+		}
+	}
+}
+
+func TestUlp(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 0x1p-52},
+		{2, 0x1p-51},
+		{1.5, 0x1p-52},
+		{0, math.SmallestNonzeroFloat64},
+		{math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64},
+		{0x1p-1022, 0x1p-1074},
+		{math.MaxFloat64, 0x1p971},
+		{-1, 0x1p-52},
+	}
+	for _, c := range cases {
+		if got := Ulp(c.x); got != c.want {
+			t.Errorf("Ulp(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if !math.IsNaN(Ulp(math.Inf(1))) || !math.IsNaN(Ulp(math.NaN())) {
+		t.Errorf("Ulp of non-finite should be NaN")
+	}
+}
+
+func TestHalfUlpNeverZero(t *testing.T) {
+	if HalfUlp(math.SmallestNonzeroFloat64) == 0 {
+		t.Fatal("HalfUlp saturated to zero")
+	}
+	if HalfUlp(1) != 0x1p-53 {
+		t.Fatalf("HalfUlp(1) = %g", HalfUlp(1))
+	}
+}
+
+func TestExpOfLSBAndMSB(t *testing.T) {
+	cases := []struct {
+		x        float64
+		lsb, msb int
+	}{
+		{1, 0, 0},
+		{3, 0, 1},
+		{6, 1, 2},
+		{0.75, -2, -1},
+		{math.MaxFloat64, 971, 1023},
+		{math.SmallestNonzeroFloat64, -1074, -1074},
+	}
+	for _, c := range cases {
+		if got := ExpOfLSB(c.x); got != c.lsb {
+			t.Errorf("ExpOfLSB(%g) = %d, want %d", c.x, got, c.lsb)
+		}
+		if got := ExpOfMSB(c.x); got != c.msb {
+			t.Errorf("ExpOfMSB(%g) = %d, want %d", c.x, got, c.msb)
+		}
+	}
+}
+
+func TestRoundFromParts(t *testing.T) {
+	// Exact value, no rounding.
+	if got := RoundFromParts(false, 1<<52, -52, false, false); got != 1 {
+		t.Fatalf("exact 1: got %g", got)
+	}
+	// Round bit set, sticky clear, even significand: ties to even stays.
+	if got := RoundFromParts(false, 1<<52, -52, true, false); got != 1 {
+		t.Fatalf("tie at 1: got %g", got)
+	}
+	// Round bit set, odd significand: rounds up.
+	if got := RoundFromParts(false, 1<<52|1, -52, true, false); got != 1+0x1p-51 {
+		t.Fatalf("tie at 1+2^-52: got %g", got)
+	}
+	// Round + sticky: rounds up regardless of parity.
+	if got := RoundFromParts(false, 1<<52, -52, true, true); got != 1+0x1p-52 {
+		t.Fatalf("above tie: got %g", got)
+	}
+	// Carry out of rounding: all-ones significand increments exponent.
+	if got := RoundFromParts(false, 1<<53-1, -52, true, true); got != 2 {
+		t.Fatalf("carry out: got %g", got)
+	}
+	// Overflow to Inf.
+	if got := RoundFromParts(false, 1<<53-1, 971, true, false); !math.IsInf(got, 1) {
+		t.Fatalf("overflow: got %g", got)
+	}
+	// Negative zero of an empty significand.
+	if got := RoundFromParts(true, 0, 0, false, false); math.Signbit(got) != true || got != 0 {
+		t.Fatalf("neg zero: got %g (signbit %v)", got, math.Signbit(got))
+	}
+	// Subnormal rounding at the bottom of the range.
+	if got := RoundFromParts(false, 1, -1074, true, true); got != 0x1p-1073 {
+		t.Fatalf("subnormal round up: got %g", got)
+	}
+	if got := RoundFromParts(false, 1, -1074, true, false); got != 0x1p-1073 {
+		// tie: significand 1 is odd → rounds to 2 (even)
+		t.Fatalf("subnormal tie: got %g", got)
+	}
+	if got := RoundFromParts(false, 2, -1074, true, false); got != 0x1p-1073 {
+		// tie: significand 2 is even → stays
+		t.Fatalf("subnormal tie even: got %g", got)
+	}
+}

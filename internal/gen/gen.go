@@ -1,0 +1,232 @@
+// Package gen generates the four input distributions used by the paper's
+// experimental evaluation (after Zhu & Hayes):
+//
+//  1. CondOne — randomly generated positive numbers (condition number 1).
+//  2. Random — a mix of positive and negative numbers, uniform at random.
+//  3. Anderson — Anderson's ill-conditioned data: random positive numbers
+//     with their (floating-point) arithmetic mean subtracted from each.
+//  4. SumZero — numbers whose exact real sum is zero.
+//
+// Each distribution is parameterized by δ, an upper bound on the range of
+// input exponents (the paper's δ, at most ~2046 for doubles), and a seed.
+// Generation is deterministic and chunk-addressable: Fill(dst, off)
+// produces the same values for the same configuration regardless of chunk
+// boundaries, so MapReduce splits can generate their own input in parallel
+// — the in-memory analogue of the paper's pre-loaded HDFS blocks.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"parsum/internal/accum"
+)
+
+// Dist selects one of the paper's four input distributions.
+type Dist int
+
+// The four distributions of the paper's Section 6.3, in its order.
+const (
+	CondOne Dist = iota
+	Random
+	Anderson
+	SumZero
+)
+
+// String returns the name used in the paper's figures.
+func (d Dist) String() string {
+	switch d {
+	case CondOne:
+		return "C(X)=1"
+	case Random:
+		return "Random"
+	case Anderson:
+		return "Anderson's"
+	case SumZero:
+		return "Sum=Zero"
+	}
+	return fmt.Sprintf("Dist(%d)", int(d))
+}
+
+// AllDists lists the four distributions in the paper's presentation order.
+var AllDists = []Dist{CondOne, Random, Anderson, SumZero}
+
+// Config describes a dataset.
+type Config struct {
+	Dist  Dist
+	N     int64  // number of values
+	Delta int    // exponent-range parameter δ (≥ 1); see ExponentRange
+	Seed  uint64 // PRNG seed; datasets with equal configs are identical
+}
+
+// Source generates a dataset deterministically. It is safe for concurrent
+// use by multiple goroutines.
+type Source struct {
+	cfg      Config
+	loE      int // inclusive lower bound of generated exponents
+	permA    uint64
+	permMask uint64
+	meanOnce sync.Once
+	mean     float64
+}
+
+// exponent placement: the generated exponent range is [loE, loE+δ).
+// It is centered on zero when δ allows, and clamped to [minGenExp, maxGenExp]
+// so that (a) values stay normal and (b) positive sums of up to ~2^40
+// summands cannot overflow (maxGenExp + 1 + 40 < 1024).
+const (
+	minGenExp = -1021
+	maxGenExp = 979
+)
+
+// EffectiveDelta returns the exponent span actually generated: δ clamped to
+// the usable double-precision range (maxGenExp − minGenExp + 1 = 2001; the
+// paper notes δ ≤ 2046 for doubles, our clamp additionally keeps positive
+// sums finite — see DESIGN.md).
+func EffectiveDelta(delta int) int {
+	if delta < 1 {
+		return 1
+	}
+	if max := maxGenExp - minGenExp + 1; delta > max {
+		return max
+	}
+	return delta
+}
+
+// New returns a Source for cfg.
+func New(cfg Config) *Source {
+	if cfg.N < 0 {
+		panic("gen: negative N")
+	}
+	d := EffectiveDelta(cfg.Delta)
+	cfg.Delta = d
+	lo := -d / 2
+	if lo < minGenExp {
+		lo = minGenExp
+	}
+	if lo+d-1 > maxGenExp {
+		lo = maxGenExp - d + 1
+	}
+	s := &Source{cfg: cfg, loE: lo}
+	// Parameters for the index bijection used by SumZero (see perm).
+	m := uint64(cfg.N / 2)
+	s.permMask = 1
+	for s.permMask < m {
+		s.permMask = s.permMask<<1 | 1
+	}
+	s.permA = splitmix(cfg.Seed ^ 0xA5A5A5A5DEADBEEF)
+	return s
+}
+
+// Config returns the source's (normalized) configuration.
+func (s *Source) Config() Config { return s.cfg }
+
+// ExponentRange returns the half-open exponent range [lo, hi) of generated
+// values before any mean subtraction.
+func (s *Source) ExponentRange() (lo, hi int) { return s.loE, s.loE + s.cfg.Delta }
+
+// splitmix is the splitmix64 mixing function: a bijective 64-bit hash used
+// as a counter-mode PRNG so any index can be generated independently.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// raw returns the i-th base value: positive, mantissa uniform in [1, 2),
+// exponent uniform in [loE, loE+δ).
+func (s *Source) raw(i int64) float64 {
+	h := splitmix(s.cfg.Seed + uint64(i)*0x9E3779B97F4A7C15)
+	mant := 1 + float64(h>>11)*0x1p-53 // 53 bits → [1, 2)
+	e := int(splitmix(h) % uint64(s.cfg.Delta))
+	return math.Ldexp(mant, s.loE+e)
+}
+
+// sign returns a deterministic pseudo-random sign for index i.
+func (s *Source) sign(i int64) float64 {
+	if splitmix(s.cfg.Seed^uint64(i)*0xD1342543DE82EF95)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// perm is a bijection on [0, N/2) built from a multiplicative bit-mix on
+// the enclosing power-of-two domain with cycle walking. SumZero uses it to
+// place each value's exact negation far from the value itself.
+func (s *Source) perm(k uint64) uint64 {
+	m := uint64(s.cfg.N / 2)
+	if m <= 1 {
+		return 0
+	}
+	x := k
+	for {
+		x = (x*0x9E3779B97F4A7C15 + s.permA) & s.permMask
+		x ^= x >> 7
+		x = (x * 0xBF58476D1CE4E5B9) & s.permMask
+		x ^= x >> 11
+		x &= s.permMask
+		if x < m {
+			return x
+		}
+	}
+}
+
+// At returns the i-th value of the dataset, 0 ≤ i < N.
+func (s *Source) At(i int64) float64 {
+	switch s.cfg.Dist {
+	case CondOne:
+		return s.raw(i)
+	case Random:
+		return s.sign(i) * s.raw(i)
+	case Anderson:
+		return s.raw(i) - s.Mean()
+	case SumZero:
+		// Odd N: the final element is 0 so pairs cancel exactly.
+		if i == s.cfg.N-1 && s.cfg.N%2 == 1 {
+			return 0
+		}
+		k := uint64(i) / 2
+		if i%2 == 0 {
+			return s.raw(int64(k))
+		}
+		return -s.raw(int64(s.perm(k)))
+	}
+	panic("gen: unknown distribution")
+}
+
+// Fill writes values At(off) … At(off+len(dst)−1) into dst.
+func (s *Source) Fill(dst []float64, off int64) {
+	if s.cfg.Dist == Anderson {
+		s.Mean() // resolve once, outside the hot loop
+	}
+	for j := range dst {
+		dst[j] = s.At(off + int64(j))
+	}
+}
+
+// Slice materializes the whole dataset. Intended for n small enough to fit
+// comfortably in memory.
+func (s *Source) Slice() []float64 {
+	xs := make([]float64, s.cfg.N)
+	s.Fill(xs, 0)
+	return xs
+}
+
+// Mean returns the floating-point arithmetic mean of the raw values — the
+// quantity Anderson's distribution subtracts. It is computed exactly (exact
+// sum, one rounding, one division) on first use and cached.
+func (s *Source) Mean() float64 {
+	s.meanOnce.Do(func() {
+		if s.cfg.N == 0 {
+			return
+		}
+		w := accum.NewWindow(0)
+		for i := int64(0); i < s.cfg.N; i++ {
+			w.Add(s.raw(i))
+		}
+		s.mean = w.Round() / float64(s.cfg.N)
+	})
+	return s.mean
+}

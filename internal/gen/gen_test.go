@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"parsum/internal/accum"
+	"parsum/internal/condition"
+	"parsum/internal/oracle"
+)
+
+func TestDeterministicAndChunkable(t *testing.T) {
+	for _, d := range AllDists {
+		cfg := Config{Dist: d, N: 1000, Delta: 100, Seed: 42}
+		a := New(cfg).Slice()
+		b := New(cfg).Slice()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: not deterministic at %d: %g vs %g", d, i, a[i], b[i])
+			}
+		}
+		// Chunked generation must agree with whole-slice generation for
+		// any chunk boundaries.
+		s := New(cfg)
+		c := make([]float64, 1000)
+		for off := int64(0); off < 1000; off += 137 {
+			end := off + 137
+			if end > 1000 {
+				end = 1000
+			}
+			s.Fill(c[off:end], off)
+		}
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("%v: chunked generation differs at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	a := New(Config{Dist: Random, N: 100, Delta: 50, Seed: 1}).Slice()
+	b := New(Config{Dist: Random, N: 100, Delta: 50, Seed: 2}).Slice()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestCondOneProperties(t *testing.T) {
+	for _, delta := range []int{1, 10, 500, 2000, 4000} {
+		s := New(Config{Dist: CondOne, N: 2000, Delta: delta, Seed: 7})
+		lo, hi := s.ExponentRange()
+		if hi-lo != EffectiveDelta(delta) {
+			t.Fatalf("δ=%d: exponent range [%d,%d) has span %d", delta, lo, hi, hi-lo)
+		}
+		xs := s.Slice()
+		for i, x := range xs {
+			if !(x > 0) || math.IsInf(x, 0) {
+				t.Fatalf("δ=%d: x[%d] = %g not positive finite", delta, i, x)
+			}
+			e := int(math.Floor(math.Log2(x)))
+			if e < lo || e >= hi {
+				t.Fatalf("δ=%d: exponent %d of x[%d]=%g outside [%d,%d)", delta, e, i, x, lo, hi)
+			}
+		}
+		if c := condition.Number(xs); c != 1 {
+			t.Fatalf("δ=%d: condition number of positive data = %g, want 1", delta, c)
+		}
+	}
+}
+
+func TestRandomMixesSigns(t *testing.T) {
+	xs := New(Config{Dist: Random, N: 4000, Delta: 100, Seed: 3}).Slice()
+	pos, neg := 0, 0
+	for _, x := range xs {
+		if x > 0 {
+			pos++
+		} else if x < 0 {
+			neg++
+		}
+	}
+	if pos < 1500 || neg < 1500 {
+		t.Fatalf("sign balance off: %d positive, %d negative", pos, neg)
+	}
+}
+
+func TestSumZeroIsExactlyZero(t *testing.T) {
+	for _, n := range []int64{2, 100, 999, 1000, 12345} {
+		xs := New(Config{Dist: SumZero, N: n, Delta: 300, Seed: 9}).Slice()
+		w := accum.NewWindow(0)
+		w.AddSlice(xs)
+		if got := w.Round(); got != 0 {
+			t.Fatalf("n=%d: exact sum = %g, want 0", n, got)
+		}
+	}
+}
+
+func TestSumZeroNoAdjacentCancellation(t *testing.T) {
+	xs := New(Config{Dist: SumZero, N: 10000, Delta: 300, Seed: 9}).Slice()
+	adjacent := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] == -xs[i-1] {
+			adjacent++
+		}
+	}
+	// The permutation should scatter negations; a handful of coincidences
+	// is fine, wholesale adjacency is not.
+	if adjacent > len(xs)/100 {
+		t.Fatalf("%d/%d adjacent cancelling pairs — negations not scattered", adjacent, len(xs))
+	}
+}
+
+func TestAndersonIllConditioned(t *testing.T) {
+	s := New(Config{Dist: Anderson, N: 5000, Delta: 40, Seed: 11})
+	xs := s.Slice()
+	// Mean subtraction: the float sum should be near zero relative to Σ|x|,
+	// i.e. the condition number should be large.
+	c := condition.Number(xs)
+	if !(c > 100) {
+		t.Fatalf("Anderson condition number = %g, want ≫ 1", c)
+	}
+	// The exponent range should collapse to ~log2(n) + O(1) around the
+	// mean's exponent regardless of δ (the effect the paper observes in
+	// Figure 2, dataset 3).
+	minE, maxE := math.MaxInt32, math.MinInt32
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		e := int(math.Floor(math.Log2(math.Abs(x))))
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	bigS := New(Config{Dist: Anderson, N: 5000, Delta: 2000, Seed: 11})
+	bigXs := bigS.Slice()
+	minE2, maxE2 := math.MaxInt32, math.MinInt32
+	for _, x := range bigXs {
+		if x == 0 {
+			continue
+		}
+		e := int(math.Floor(math.Log2(math.Abs(x))))
+		if e < minE2 {
+			minE2 = e
+		}
+		if e > maxE2 {
+			maxE2 = e
+		}
+	}
+	// With δ=2000 the raw spread is 2000, but after mean subtraction the
+	// spread must be far smaller (dominated by the largest values).
+	if maxE2-minE2 > 200 {
+		t.Fatalf("Anderson δ=2000 post-subtraction exponent spread = %d, want ≪ δ", maxE2-minE2)
+	}
+	_ = minE
+	_ = maxE
+}
+
+func TestEffectiveDeltaClamp(t *testing.T) {
+	if EffectiveDelta(0) != 1 || EffectiveDelta(-5) != 1 {
+		t.Fatal("EffectiveDelta must clamp below at 1")
+	}
+	if EffectiveDelta(5000) != 2001 {
+		t.Fatalf("EffectiveDelta(5000) = %d, want 2001", EffectiveDelta(5000))
+	}
+	if EffectiveDelta(2000) != 2000 {
+		t.Fatal("EffectiveDelta(2000) changed a legal δ")
+	}
+}
+
+func TestPermIsBijection(t *testing.T) {
+	s := New(Config{Dist: SumZero, N: 2000, Delta: 10, Seed: 5})
+	seen := make(map[uint64]bool, 1000)
+	for k := uint64(0); k < 1000; k++ {
+		p := s.perm(k)
+		if p >= 1000 {
+			t.Fatalf("perm(%d) = %d out of range", k, p)
+		}
+		if seen[p] {
+			t.Fatalf("perm not injective at %d", k)
+		}
+		seen[p] = true
+	}
+}
+
+func TestGeneratedSumsMatchOracle(t *testing.T) {
+	for _, d := range AllDists {
+		xs := New(Config{Dist: d, N: 3000, Delta: 600, Seed: 13}).Slice()
+		w := accum.NewWindow(0)
+		w.AddSlice(xs)
+		got, want := w.Round(), oracle.Sum(xs)
+		if got != want {
+			t.Fatalf("%v: accumulator=%g oracle=%g", d, got, want)
+		}
+	}
+}
+
+func TestConditionAgainstOracle(t *testing.T) {
+	for _, d := range AllDists {
+		xs := New(Config{Dist: d, N: 500, Delta: 80, Seed: 21}).Slice()
+		got := condition.Number(xs)
+		want := oracle.CondNumber(xs)
+		if math.IsInf(want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("%v: cond=%g, oracle=+Inf", d, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-12 {
+			t.Fatalf("%v: cond=%g oracle=%g (rel %g)", d, got, want, rel)
+		}
+	}
+}

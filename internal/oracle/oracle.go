@@ -1,0 +1,137 @@
+// Package oracle provides an exact reference implementation of
+// floating-point summation built on math/big, used by the test suites to
+// verify every production representation and algorithm. It is deliberately
+// slow and obviously correct.
+package oracle
+
+import (
+	"math"
+	"math/big"
+)
+
+// prec is enough precision to represent any sum of up to 2^60 doubles
+// exactly: the double bit range spans 2098 bits, plus 64 bits of headroom.
+const prec = 2200
+
+// SumBig returns the exact sum of xs as a big.Float (nil if the sum
+// involves NaN or opposing infinities — i.e. is not a real number).
+// A single-signed infinity yields a big.Float infinity.
+func SumBig(xs []float64) *big.Float {
+	s := new(big.Float).SetPrec(prec)
+	var posInf, negInf bool
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return nil
+		}
+		if math.IsInf(x, 1) {
+			posInf = true
+			continue
+		}
+		if math.IsInf(x, -1) {
+			negInf = true
+			continue
+		}
+		s.Add(s, new(big.Float).SetPrec(prec).SetFloat64(x))
+	}
+	if posInf && negInf {
+		return nil
+	}
+	if posInf {
+		return new(big.Float).SetInf(false)
+	}
+	if negInf {
+		return new(big.Float).SetInf(true)
+	}
+	return s
+}
+
+// Sum returns the correctly rounded (round-to-nearest-even) float64 sum of
+// xs, with IEEE semantics for NaN and infinities.
+func Sum(xs []float64) float64 {
+	s := SumBig(xs)
+	if s == nil {
+		return math.NaN()
+	}
+	f, _ := s.Float64()
+	return f
+}
+
+// AbsSum returns the correctly rounded float64 value of Σ|xᵢ| (NaN if any
+// input is NaN).
+func AbsSum(xs []float64) float64 {
+	s := new(big.Float).SetPrec(prec)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
+		if math.IsInf(x, 0) {
+			return math.Inf(1)
+		}
+		s.Add(s, new(big.Float).SetPrec(prec).SetFloat64(math.Abs(x)))
+	}
+	f, _ := s.Float64()
+	return f
+}
+
+// Faithful reports whether got is a faithful rounding of the exact sum of
+// xs: either the largest float64 ≤ the exact sum or the smallest float64 ≥
+// it. (The correctly rounded value is always faithful.)
+func Faithful(xs []float64, got float64) bool {
+	s := SumBig(xs)
+	if s == nil {
+		return math.IsNaN(got)
+	}
+	if s.IsInf() {
+		return math.IsInf(got, map[bool]int{false: 1, true: -1}[s.Signbit()])
+	}
+	lo := roundDir(s, big.ToNegativeInf)
+	hi := roundDir(s, big.ToPositiveInf)
+	if got == 0 {
+		// Treat ±0 as interchangeable for faithfulness.
+		return lo == 0 || hi == 0
+	}
+	return got == lo || got == hi
+}
+
+// roundDir rounds s to float64 toward the given direction. big.Float's
+// Float64 conversion always rounds to nearest regardless of the receiver's
+// mode, so directed rounding is derived from the conversion's Accuracy:
+// if the nearest float lies on the wrong side of s, step one ulp back.
+// This is also correct in the subnormal range and at ±MaxFloat64 (where
+// stepping back from ±Inf yields the largest finite float).
+func roundDir(s *big.Float, mode big.RoundingMode) float64 {
+	f, acc := s.Float64()
+	switch mode {
+	case big.ToNegativeInf:
+		if acc == big.Above { // f > s: step down
+			return math.Nextafter(f, math.Inf(-1))
+		}
+	case big.ToPositiveInf:
+		if acc == big.Below { // f < s: step up
+			return math.Nextafter(f, math.Inf(1))
+		}
+	}
+	return f
+}
+
+// CondNumber returns the condition number C(X) = Σ|xᵢ| / |Σxᵢ| as a
+// float64, +Inf for a zero sum of a nonzero input, and 1 for empty input.
+func CondNumber(xs []float64) float64 {
+	num := new(big.Float).SetPrec(prec)
+	den := SumBig(xs)
+	if den == nil || den.IsInf() {
+		return math.NaN()
+	}
+	for _, x := range xs {
+		num.Add(num, new(big.Float).SetPrec(prec).SetFloat64(math.Abs(x)))
+	}
+	if num.Sign() == 0 {
+		return 1
+	}
+	if den.Sign() == 0 {
+		return math.Inf(1)
+	}
+	q := new(big.Float).SetPrec(prec).Quo(num, new(big.Float).Abs(den))
+	f, _ := q.Float64()
+	return f
+}

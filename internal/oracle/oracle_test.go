@@ -1,0 +1,139 @@
+package oracle
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestSumBasics(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{1, 2, 3}, 6},
+		{[]float64{1e100, 1, -1e100}, 1},
+		{[]float64{math.MaxFloat64, math.MaxFloat64}, math.Inf(1)},
+		{[]float64{math.Inf(1), 1}, math.Inf(1)},
+		{[]float64{math.Inf(-1), 1}, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		if got := Sum(c.xs); got != c.want {
+			t.Errorf("Sum(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+	if !math.IsNaN(Sum([]float64{math.NaN()})) {
+		t.Error("NaN input must give NaN")
+	}
+	if !math.IsNaN(Sum([]float64{math.Inf(1), math.Inf(-1)})) {
+		t.Error("opposing infinities must give NaN")
+	}
+}
+
+func TestRoundDirDirectedRounding(t *testing.T) {
+	// A value strictly between two adjacent floats: directed roundings
+	// must bracket it. (math/big's Float64 ignores the rounding mode, so
+	// roundDir derives direction from the conversion accuracy — this test
+	// pins that behaviour.)
+	for _, base := range []float64{1.0, -1.0, 0x1p-1050, -0x1p-1050, 0x1.fffffffffffffp1023 / 2} {
+		up := math.Nextafter(base, math.Inf(1))
+		mid := new(big.Float).SetPrec(200).SetFloat64(base)
+		half := new(big.Float).SetPrec(200).SetFloat64(up)
+		half.Sub(half, mid)
+		half.Mul(half, big.NewFloat(0.25))
+		mid.Add(mid, half) // base + quarter-gap
+		lo := roundDir(mid, big.ToNegativeInf)
+		hi := roundDir(mid, big.ToPositiveInf)
+		if lo != base || hi != up {
+			t.Errorf("base=%g: roundDir gave [%g, %g], want [%g, %g]", base, lo, hi, base, up)
+		}
+	}
+	// Exact values round to themselves in both directions.
+	s := new(big.Float).SetPrec(200).SetFloat64(1.5)
+	if roundDir(s, big.ToNegativeInf) != 1.5 || roundDir(s, big.ToPositiveInf) != 1.5 {
+		t.Error("exact value must round to itself")
+	}
+	// Beyond MaxFloat64: RD gives MaxFloat64, RU gives +Inf.
+	huge := new(big.Float).SetPrec(200).SetFloat64(math.MaxFloat64)
+	huge.Add(huge, big.NewFloat(1e300))
+	if got := roundDir(huge, big.ToNegativeInf); got != math.MaxFloat64 {
+		t.Errorf("RD(huge) = %g", got)
+	}
+	if got := roundDir(huge, big.ToPositiveInf); !math.IsInf(got, 1) {
+		t.Errorf("RU(huge) = %g", got)
+	}
+}
+
+func TestFaithful(t *testing.T) {
+	// Exact sum 1 + 2^-60: both 1 and nextUp(1) are faithful; nothing else.
+	xs := []float64{1, 0x1p-60}
+	if !Faithful(xs, 1) {
+		t.Error("RD must be faithful")
+	}
+	if !Faithful(xs, math.Nextafter(1, 2)) {
+		t.Error("RU must be faithful")
+	}
+	if Faithful(xs, math.Nextafter(1, 0)) {
+		t.Error("one below RD is not faithful")
+	}
+	if Faithful(xs, math.Nextafter(math.Nextafter(1, 2), 2)) {
+		t.Error("one above RU is not faithful")
+	}
+	// Exactly representable sums admit only themselves.
+	if !Faithful([]float64{1, 1}, 2) || Faithful([]float64{1, 1}, math.Nextafter(2, 3)) {
+		t.Error("exact sum faithfulness wrong")
+	}
+	// The regression that motivated roundDir's fix: a negative exact sum
+	// just above the midpoint; RN is the upper neighbor but the lower one
+	// is still faithful.
+	a := -math.Ldexp(6142060676454003, 946)
+	b := math.Nextafter(a, math.Inf(1))
+	gap := new(big.Float).SetPrec(300).SetFloat64(b)
+	gap.Sub(gap, new(big.Float).SetPrec(300).SetFloat64(a))
+	gap.Mul(gap, big.NewFloat(0.5001))
+	s := new(big.Float).SetPrec(300).SetFloat64(a)
+	s.Add(s, gap)
+	lo := roundDir(s, big.ToNegativeInf)
+	hi := roundDir(s, big.ToPositiveInf)
+	if lo != a || hi != b {
+		t.Fatalf("directed roundings [%g,%g] do not bracket: want [%g,%g]", lo, hi, a, b)
+	}
+	// NaN / infinity conventions.
+	if !Faithful([]float64{math.NaN()}, math.NaN()) {
+		t.Error("NaN sum, NaN result must be faithful")
+	}
+	if !Faithful([]float64{math.MaxFloat64, math.MaxFloat64}, math.Inf(1)) {
+		t.Error("overflowed sum must accept +Inf")
+	}
+	if !Faithful(nil, 0) {
+		t.Error("empty sum, zero result")
+	}
+}
+
+func TestCondNumber(t *testing.T) {
+	if got := CondNumber([]float64{1, 2, 3}); got != 1 {
+		t.Errorf("positive data: C=%g, want 1", got)
+	}
+	if got := CondNumber([]float64{1, -1}); !math.IsInf(got, 1) {
+		t.Errorf("zero sum: C=%g, want +Inf", got)
+	}
+	if got := CondNumber(nil); got != 1 {
+		t.Errorf("empty: C=%g, want 1", got)
+	}
+	if got := CondNumber([]float64{1e100, 1, -1e100}); math.Abs(got-2e100) > 1e85 {
+		t.Errorf("cancellation: C=%g, want ≈2e100", got)
+	}
+	if !math.IsNaN(CondNumber([]float64{math.NaN()})) {
+		t.Error("NaN input: want NaN")
+	}
+}
+
+func TestAbsSum(t *testing.T) {
+	if got := AbsSum([]float64{-1, 2, -3}); got != 6 {
+		t.Errorf("AbsSum = %g, want 6", got)
+	}
+	if got := AbsSum([]float64{math.Inf(-1)}); !math.IsInf(got, 1) {
+		t.Errorf("AbsSum(−Inf) = %g, want +Inf", got)
+	}
+}

@@ -1,0 +1,147 @@
+package pram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parsum/internal/gen"
+	"parsum/internal/oracle"
+)
+
+func TestMachineDetectsEREWViolations(t *testing.T) {
+	m := New(EREW, 8)
+	// Two processors read the same cell in one step.
+	m.Step(2, func(p int, c *Ctx) { c.Read(3) })
+	if m.Err() == nil {
+		t.Fatal("concurrent read not detected in EREW mode")
+	}
+	// CREW allows it.
+	m2 := New(CREW, 8)
+	m2.Step(2, func(p int, c *Ctx) { c.Read(3) })
+	if m2.Err() != nil {
+		t.Fatalf("CREW rejected concurrent read: %v", m2.Err())
+	}
+	// But not concurrent writes.
+	m3 := New(CREW, 8)
+	m3.Step(2, func(p int, c *Ctx) { c.Write(3, int64(p)) })
+	if m3.Err() == nil {
+		t.Fatal("concurrent write not detected in CREW mode")
+	}
+	// Read/write mix is a conflict in both modes.
+	m4 := New(CREW, 8)
+	m4.Step(2, func(p int, c *Ctx) {
+		if p == 0 {
+			c.Read(5)
+		} else {
+			c.Write(5, 1)
+		}
+	})
+	if m4.Err() == nil {
+		t.Fatal("read/write conflict not detected")
+	}
+	// Same processor may read and write its own cells freely.
+	m5 := New(EREW, 8)
+	m5.Step(2, func(p int, c *Ctx) {
+		v := c.Read(p)
+		c.Write(p, v+1)
+	})
+	if m5.Err() != nil {
+		t.Fatalf("false positive: %v", m5.Err())
+	}
+}
+
+func TestTreeSumExactAndEREWClean(t *testing.T) {
+	for _, d := range gen.AllDists {
+		xs := gen.New(gen.Config{Dist: d, N: 300, Delta: 1200, Seed: 3}).Slice()
+		res, err := TreeSum(xs, 32, EREW)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if want := oracle.Sum(xs); res.Sum != want {
+			t.Fatalf("%v: PRAM=%g oracle=%g", d, res.Sum, want)
+		}
+	}
+}
+
+func TestTreeSumStepCountFormula(t *testing.T) {
+	// The summation phase must cost exactly 1 + 3·⌈log₂ n⌉ steps,
+	// independent of the data (the paper's O(log n) with the carry-free
+	// merge's constant 3).
+	for _, n := range []int{1, 2, 3, 7, 64, 100, 256} {
+		xs := gen.New(gen.Config{Dist: gen.Random, N: int64(n), Delta: 600, Seed: 4}).Slice()
+		res, err := TreeSum(xs, 32, EREW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1 + 3*res.Levels)
+		if res.Steps != want {
+			t.Fatalf("n=%d: steps=%d, want %d", n, res.Steps, want)
+		}
+	}
+}
+
+func TestTreeSumWorkScalesLinearly(t *testing.T) {
+	w256, _ := TreeSum(make([]float64, 256), 32, EREW)
+	w1024, _ := TreeSum(make([]float64, 1024), 32, EREW)
+	ratio := float64(w1024.Work) / float64(w256.Work)
+	if ratio < 3.5 || ratio > 4.6 {
+		t.Fatalf("work ratio 1024/256 = %.2f, want ≈4 (O(n·K) work)", ratio)
+	}
+}
+
+func TestCarryPropagateAblation(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.SumZero, N: 128, Delta: 1500, Seed: 5}).Slice()
+	cf, err := TreeSum(xs, 32, EREW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := TreeSumCarryPropagate(xs, 32, EREW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Sum != cp.Sum {
+		t.Fatalf("carry-free %g != carry-propagate %g", cf.Sum, cp.Sum)
+	}
+	if want := int64(1 + cp.Levels*(1+cp.K)); cp.Steps != want {
+		t.Fatalf("carry-propagate steps=%d, want %d", cp.Steps, want)
+	}
+	// The paper's point: parallel depth per level is 3 vs 1+K.
+	if cf.Steps >= cp.Steps {
+		t.Fatalf("carry-free (%d steps) should beat carry-propagate (%d steps)", cf.Steps, cp.Steps)
+	}
+}
+
+func TestTreeSumMatchesOracleRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(1600)-800)
+		}
+		res, err := TreeSum(xs, uint(26+r.Intn(7)), EREW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracle.Sum(xs); res.Sum != want {
+			t.Fatalf("trial %d: PRAM=%g oracle=%g", trial, res.Sum, want)
+		}
+	}
+}
+
+func TestTreeSumRejectsNonFinite(t *testing.T) {
+	if _, err := TreeSum([]float64{1, math.Inf(1)}, 32, EREW); err == nil {
+		t.Fatal("expected ErrNonFinite")
+	}
+	if _, err := TreeSumCarryPropagate([]float64{math.NaN()}, 32, EREW); err == nil {
+		t.Fatal("expected ErrNonFinite")
+	}
+}
+
+func TestTreeSumEmpty(t *testing.T) {
+	res, err := TreeSum(nil, 32, EREW)
+	if err != nil || res.Sum != 0 {
+		t.Fatalf("empty: %g, %v", res.Sum, err)
+	}
+}

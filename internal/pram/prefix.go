@@ -1,0 +1,131 @@
+package pram
+
+// The paper's step 6 converts the final (α,β)-regularized superaccumulator
+// into a non-redundant form by propagating signed carries "by a parallel
+// prefix computation (based on a simple lookup table based on whether the
+// input carry bit is a −1, 0, or 1)". This file implements exactly that on
+// the machine: every digit dᵢ induces a carry-transfer function
+//
+//	fᵢ : {−1,0,+1} → {−1,0,+1},  fᵢ(c) = (dᵢ + c) >> W,
+//
+// the carry entering digit i is the left-to-right composition
+// (f₀ • f₁ • … • fᵢ₋₁)(0), and function composition is associative, so a
+// Blelloch exclusive scan computes all carries in 2·log₂K + O(1) EREW
+// steps with O(K) work.
+
+// Transfer functions are packed into a single cell as a base-3 code of the
+// triple (f(−1), f(0), f(+1)).
+func packFn(fm1, f0, fp1 int64) int64 {
+	return (fm1 + 1) + 3*(f0+1) + 9*(fp1+1)
+}
+
+func applyFn(code, c int64) int64 {
+	switch c {
+	case -1:
+		return code%3 - 1
+	case 0:
+		return (code/3)%3 - 1
+	default:
+		return (code/9)%3 - 1
+	}
+}
+
+// composeFn returns the code of "apply a, then b".
+func composeFn(a, b int64) int64 {
+	return packFn(
+		applyFn(b, applyFn(a, -1)),
+		applyFn(b, applyFn(a, 0)),
+		applyFn(b, applyFn(a, 1)),
+	)
+}
+
+// identityFn is the code of the identity transfer function.
+var identityFn = packFn(-1, 0, 1)
+
+// PrefixResult reports a PrefixCanonicalize execution.
+type PrefixResult struct {
+	Canonical  []int64 // digits in [0, R−1]
+	FinalCarry int64   // carry out of the top digit (−1 for negative values)
+	Steps      int64
+	Work       int64
+}
+
+// PrefixCanonicalize runs the paper's step-6 signed-carry propagation on a
+// fresh PRAM: given a digit string with digits in [−(R−1), R−1], it
+// produces the canonical digits dᵢ' = (dᵢ + cᵢ) mod R ∈ [0, R−1] with all
+// carries computed by an EREW Blelloch scan over carry-transfer functions,
+// in exactly 3 + 2·log₂ K machine steps for the padded power-of-two K.
+// FinalCarry (∈ {−1, 0}; positive carries are unreachable from a zero
+// initial carry) has binary weight 2^(w·len(dig)): the represented value is
+// Σ Canonical[i]·R^i + FinalCarry·R^len.
+func PrefixCanonicalize(dig []int64, w uint, mode Mode) (PrefixResult, error) {
+	var res PrefixResult
+	if len(dig) == 0 {
+		return res, nil
+	}
+	k := 1
+	for k < len(dig) {
+		k <<= 1
+	}
+	// Memory layout: [0,k) digits, [k,2k) transfer-function scan array.
+	m := New(mode, 2*k)
+	for i, v := range dig {
+		m.mem[i] = v
+	}
+
+	// Step: build each digit's transfer function (padded digits are zero
+	// and get fᵢ(c) = c>>W = −1 for c=−1 … which is exactly (0+c)>>W).
+	m.Step(k, func(p int, c *Ctx) {
+		d := c.Read(p)
+		c.Write(k+p, packFn((d-1)>>w, d>>w, (d+1)>>w))
+	})
+
+	// Blelloch up-sweep: T[r] ← T[l] • T[r].
+	for d := 1; d < k; d <<= 1 {
+		d := d
+		m.Step(k/(2*d), func(p int, c *Ctx) {
+			i := p * 2 * d
+			l := c.Read(k + i + d - 1)
+			r := c.Read(k + i + 2*d - 1)
+			c.Write(k+i+2*d-1, composeFn(l, r))
+		})
+	}
+
+	// Save the total fold (the final carry) and seed the root with the
+	// identity for the exclusive scan.
+	var total int64
+	m.Step(1, func(p int, c *Ctx) {
+		total = c.Read(k + k - 1)
+		c.Write(k+k-1, identityFn)
+	})
+
+	// Down-sweep: left gets the parent's prefix; right gets parent • left.
+	for d := k / 2; d >= 1; d >>= 1 {
+		d := d
+		m.Step(k/(2*d), func(p int, c *Ctx) {
+			i := p * 2 * d
+			l := c.Read(k + i + d - 1)
+			parent := c.Read(k + i + 2*d - 1)
+			c.Write(k+i+d-1, parent)
+			c.Write(k+i+2*d-1, composeFn(parent, l))
+		})
+	}
+
+	// Step: apply the carries. After the scan, cell k+i holds the
+	// composition of f₀…fᵢ₋₁; evaluating it at 0 gives the carry into i.
+	mask := int64(1)<<w - 1
+	m.Step(k, func(p int, c *Ctx) {
+		carry := applyFn(c.Read(k+p), 0)
+		c.Write(p, (c.Read(p)+carry)&mask)
+	})
+	if m.err != nil {
+		return res, m.err
+	}
+
+	res.Canonical = make([]int64, len(dig))
+	copy(res.Canonical, m.mem[:len(dig)])
+	res.FinalCarry = applyFn(total, 0)
+	res.Steps = m.Steps
+	res.Work = m.Work
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+
+	"parsum/internal/accum"
+)
+
+// refCanonicalize is the sequential reference: the same low-to-high signed
+// carry pass the accumulators use, with the final carry kept separate.
+func refCanonicalize(dig []int64, w uint) ([]int64, int64) {
+	mask := int64(1)<<w - 1
+	out := make([]int64, len(dig))
+	var c int64
+	for i, v := range dig {
+		t := v + c
+		out[i] = t & mask
+		c = t >> w
+	}
+	return out, c
+}
+
+func TestComposeFnExhaustive(t *testing.T) {
+	// Function packing/composition over all 27 codes must satisfy
+	// (a • b)(x) == b(a(x)) for all inputs.
+	for a := int64(0); a < 27; a++ {
+		for b := int64(0); b < 27; b++ {
+			ab := composeFn(a, b)
+			for _, x := range []int64{-1, 0, 1} {
+				if got, want := applyFn(ab, x), applyFn(b, applyFn(a, x)); got != want {
+					t.Fatalf("compose(%d,%d)(%d) = %d, want %d", a, b, x, got, want)
+				}
+			}
+		}
+	}
+	for _, x := range []int64{-1, 0, 1} {
+		if applyFn(identityFn, x) != x {
+			t.Fatalf("identity broken at %d", x)
+		}
+	}
+}
+
+func TestPrefixCanonicalizeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		w := uint(8 + r.Intn(25))
+		mask := int64(1)<<w - 1
+		k := 1 + r.Intn(100)
+		dig := make([]int64, k)
+		for i := range dig {
+			dig[i] = r.Int63() & mask * (1 - 2*int64(r.Intn(2))) // in [−(R−1), R−1]
+		}
+		res, err := PrefixCanonicalize(dig, w, EREW)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, wc := refCanonicalize(dig, w)
+		if res.FinalCarry != wc {
+			t.Fatalf("trial %d w=%d: carry=%d want %d", trial, w, res.FinalCarry, wc)
+		}
+		for i := range want {
+			if res.Canonical[i] != want[i] {
+				t.Fatalf("trial %d w=%d: digit %d = %d, want %d", trial, w, i, res.Canonical[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPrefixCanonicalizeStepFormula(t *testing.T) {
+	// Exactly 3 + 2·log₂K steps — the paper's "parallel prefix
+	// computation" at logarithmic depth, independent of the data.
+	for _, k := range []int{1, 2, 5, 16, 100, 1024} {
+		dig := make([]int64, k)
+		for i := range dig {
+			dig[i] = int64(i%3 - 1)
+		}
+		res, err := PrefixCanonicalize(dig, 32, EREW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk := 1
+		logk := 0
+		for pk < k {
+			pk <<= 1
+			logk++
+		}
+		if want := int64(3 + 2*logk); res.Steps != want {
+			t.Fatalf("k=%d: steps=%d, want %d", k, res.Steps, want)
+		}
+	}
+}
+
+func TestPrefixCanonicalizeValuePreserved(t *testing.T) {
+	// Value check through the rounding primitive: canonical digits plus
+	// the final carry must round to the same float64 as the input digits.
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		w := uint(26 + r.Intn(7))
+		mask := int64(1)<<w - 1
+		k := 1 + r.Intn(40)
+		dig := make([]int64, k)
+		for i := range dig {
+			dig[i] = r.Int63()&mask - r.Int63()&mask
+		}
+		res, err := PrefixCanonicalize(dig, w, EREW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minIdx := -10
+		got := accum.RoundDigitString(append(append([]int64(nil), res.Canonical...), res.FinalCarry), minIdx, w)
+		want := accum.RoundDigitString(dig, minIdx, w)
+		if got != want {
+			t.Fatalf("trial %d w=%d: prefix=%g direct=%g", trial, w, got, want)
+		}
+	}
+}
+
+func TestPrefixCanonicalizeNegative(t *testing.T) {
+	// A single −1 digit: canonical form is all zeros with borrow −1.
+	res, err := PrefixCanonicalize([]int64{-1, 0, 0}, 32, EREW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Canonical[0] != 0xFFFFFFFF || res.Canonical[1] != 0xFFFFFFFF || res.Canonical[2] != 0xFFFFFFFF || res.FinalCarry != -1 {
+		t.Fatalf("got %v carry %d", res.Canonical, res.FinalCarry)
+	}
+	// Empty input.
+	res, err = PrefixCanonicalize(nil, 32, EREW)
+	if err != nil || len(res.Canonical) != 0 || res.FinalCarry != 0 {
+		t.Fatalf("empty: %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,224 @@
+package pram
+
+import (
+	"parsum/internal/accum"
+	"parsum/internal/fpnum"
+)
+
+// Result reports a PRAM execution: the rounded sum, the exact step and work
+// counts of the summation phase, and the layout parameters.
+type Result struct {
+	Sum    float64
+	Steps  int64
+	Work   int64
+	Levels int // ⌈log₂ n⌉
+	K      int // components per superaccumulator
+}
+
+// layout computes the digit-span K and memory layout for n leaves of width
+// w. Node arrays live at node*K in the digit region; a parallel region of
+// the same size holds the per-node carry cells.
+type layout struct {
+	w      uint
+	k      int
+	minIdx int
+	n      int // padded to a power of two
+	levels int
+}
+
+func newLayout(nIn int, w uint) layout {
+	if w == 0 {
+		w = accum.DefaultWidth
+	}
+	minIdx, maxIdx := accum.DigitBounds(w)
+	l := layout{w: w, k: maxIdx - minIdx + 1, minIdx: minIdx}
+	l.n = 1
+	for l.n < nIn {
+		l.n <<= 1
+		l.levels++
+	}
+	return l
+}
+
+// dig returns the cell address of component i of tree node v (heap
+// numbering: root 1, children 2v and 2v+1, leaves n..2n−1).
+func (l layout) dig(v, i int) int { return v*l.k + i }
+
+// carry returns the address of the carry cell into component i of node v.
+func (l layout) carry(v, i int) int { return 2*l.n*l.k + v*l.k + i }
+
+// TreeSum runs the paper's PRAM summation tree with Lemma 1 carry-free
+// merges on a fresh machine in the given mode and returns the correctly
+// rounded sum with exact step/work counts. Inputs must be finite. The
+// summation phase costs exactly 1 + 3·levels steps: one conversion step
+// and three EREW steps per tree level (component sums; carry computation;
+// reduction plus carry application — carries are kept in processor-local
+// registers between the sub-steps, so no cell is ever shared).
+//
+// Final rounding (the paper's steps 6–7, a parallel-prefix conversion plus
+// O(1) extraction) is performed off-machine by the shared rounding
+// primitive and excluded from the counts, as is the specials bookkeeping.
+func TreeSum(xs []float64, w uint, mode Mode) (Result, error) {
+	l := newLayout(len(xs), w)
+	var res Result
+	res.Levels = l.levels
+	res.K = l.k
+	for _, x := range xs {
+		if c := fpnum.Classify(x); c != fpnum.ClassFinite && c != fpnum.ClassZero {
+			return res, ErrNonFinite
+		}
+	}
+	m := New(mode, 4*l.n*l.k)
+
+	// Step 1 (paper step 2): each processor converts its input to an
+	// (α,β)-regularized superaccumulator: O(1) chunk writes into its own
+	// leaf. Padded leaves hold zero and write nothing.
+	m.Step(l.n, func(p int, c *Ctx) {
+		if p >= len(xs) || xs[p] == 0 {
+			return
+		}
+		s := accum.FromFloat64(xs[p], l.w)
+		idx, dig := s.Components()
+		leaf := l.n + p
+		for j := range idx {
+			c.Write(l.dig(leaf, int(idx[j])-l.minIdx), dig[j])
+		}
+	})
+
+	// Bottom-up merge: three steps per level, every pair at a level in
+	// parallel, K processors per pair.
+	r := int64(1) << l.w
+	for nodes := l.n / 2; nodes >= 1; nodes /= 2 {
+		first := nodes // nodes of this level: [nodes, 2*nodes)
+		procs := nodes * l.k
+		// Processor-local registers carried across the sub-steps of this
+		// level (legal PRAM local state; never shared).
+		pLocal := make([]int64, procs)
+
+		// Sub-step 1: Pᵢ = Yᵢ + Zᵢ into the parent's digit array.
+		m.Step(procs, func(p int, c *Ctx) {
+			v := first + p/l.k
+			i := p % l.k
+			sum := c.Read(l.dig(2*v, i)) + c.Read(l.dig(2*v+1, i))
+			c.Write(l.dig(v, i), sum)
+		})
+		// Sub-step 2: choose the signed carry Cᵢ₊₁ from Pᵢ alone (Lemma 1)
+		// and publish it for the right neighbor; remember Wᵢ locally.
+		m.Step(procs, func(p int, c *Ctx) {
+			v := first + p/l.k
+			i := p % l.k
+			pv := c.Read(l.dig(v, i))
+			var out int64
+			switch {
+			case pv >= r-1:
+				out = 1
+			case pv <= -r+1:
+				out = -1
+			}
+			pLocal[p] = pv - out*r // Wᵢ
+			if i+1 < l.k {
+				c.Write(l.carry(v, i+1), out)
+			} else if out != 0 {
+				m.err = errTopCarry
+			}
+		})
+		// Sub-step 3: Sᵢ = Wᵢ + Cᵢ; each carry cell is read by exactly one
+		// processor.
+		m.Step(procs, func(p int, c *Ctx) {
+			v := first + p/l.k
+			i := p % l.k
+			var carryIn int64
+			if i > 0 {
+				carryIn = c.Read(l.carry(v, i))
+			}
+			c.Write(l.dig(v, i), pLocal[p]+carryIn)
+		})
+	}
+	if m.err != nil {
+		return res, m.err
+	}
+
+	// Read out the root and round off-machine (paper steps 6–7).
+	root := make([]int64, l.k)
+	for i := range root {
+		root[i] = m.mem[l.dig(1, i)]
+	}
+	res.Sum = accum.RoundDigitString(root, l.minIdx, l.w)
+	res.Steps = m.Steps
+	res.Work = m.Work
+	return res, nil
+}
+
+// TreeSumCarryPropagate is the ablation baseline: the same summation tree
+// with a conventional carry-propagating merge (the representation used by
+// Neal-style small superaccumulators). Each level needs one parallel
+// component-add step followed by a K-step sequential carry chain executed
+// by one processor per pair — the inherent dependency the paper's
+// representation removes. Step count: 1 + levels·(1+K).
+func TreeSumCarryPropagate(xs []float64, w uint, mode Mode) (Result, error) {
+	l := newLayout(len(xs), w)
+	var res Result
+	res.Levels = l.levels
+	res.K = l.k
+	for _, x := range xs {
+		if c := fpnum.Classify(x); c != fpnum.ClassFinite && c != fpnum.ClassZero {
+			return res, ErrNonFinite
+		}
+	}
+	m := New(mode, 2*l.n*l.k)
+	m.Step(l.n, func(p int, c *Ctx) {
+		if p >= len(xs) || xs[p] == 0 {
+			return
+		}
+		s := accum.FromFloat64(xs[p], l.w)
+		idx, dig := s.Components()
+		leaf := l.n + p
+		for j := range idx {
+			c.Write(l.dig(leaf, int(idx[j])-l.minIdx), dig[j])
+		}
+	})
+	mask := int64(1)<<l.w - 1
+	for nodes := l.n / 2; nodes >= 1; nodes /= 2 {
+		first := nodes
+		procs := nodes * l.k
+		m.Step(procs, func(p int, c *Ctx) {
+			v := first + p/l.k
+			i := p % l.k
+			sum := c.Read(l.dig(2*v, i)) + c.Read(l.dig(2*v+1, i))
+			c.Write(l.dig(v, i), sum)
+		})
+		// Sequential carry chain: one processor per pair, K dependent steps.
+		carries := make([]int64, nodes)
+		for i := 0; i < l.k; i++ {
+			i := i
+			m.Step(nodes, func(p int, c *Ctx) {
+				v := first + p
+				addr := l.dig(v, i)
+				val := c.Read(addr) + carries[p]
+				if i == l.k-1 {
+					c.Write(addr, val) // top keeps its carry unreduced
+					return
+				}
+				c.Write(addr, val&mask)
+				carries[p] = val >> l.w
+			})
+		}
+	}
+	if m.err != nil {
+		return res, m.err
+	}
+	root := make([]int64, l.k)
+	for i := range root {
+		root[i] = m.mem[l.dig(1, i)]
+	}
+	res.Sum = accum.RoundDigitString(root, l.minIdx, l.w)
+	res.Steps = m.Steps
+	res.Work = m.Work
+	return res, nil
+}
+
+var errTopCarry = errTop{}
+
+type errTop struct{}
+
+func (errTop) Error() string { return "pram: carry out of the top superaccumulator component" }

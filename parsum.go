@@ -1,0 +1,131 @@
+// Package parsum computes exact, correctly rounded sums of floating-point
+// numbers, sequentially and in parallel. It is a Go implementation of
+// Goodrich & Eldawy, "Parallel Algorithms for Summing Floating-Point
+// Numbers" (SPAA 2016): inputs are converted to a carry-free
+// (α,β)-regularized superaccumulator representation, summed exactly in that
+// representation (in any order, by any number of goroutines, with
+// bit-identical results), and rounded once at the end.
+//
+// Quick start:
+//
+//	sum := parsum.Sum(xs)                       // exact, correctly rounded
+//	sum  = parsum.SumParallel(xs, parsum.Options{Workers: 8})
+//
+// For streaming accumulation:
+//
+//	acc := parsum.NewAccumulator()
+//	for _, x := range xs { acc.Add(x) }
+//	sum := acc.Round()
+//
+// Accumulators merge exactly, so partial sums computed on different
+// goroutines (or machines) combine without any error:
+//
+//	a.Merge(b)
+//
+// Beyond the core API, the internal packages implement the paper's PRAM
+// simulator, external-memory algorithms, single-round MapReduce engine,
+// sequential baselines (including Zhu & Hayes' iFastSum), and the
+// evaluation harness; see README.md and DESIGN.md.
+package parsum
+
+import (
+	"parsum/internal/accum"
+	"parsum/internal/baseline"
+	"parsum/internal/condition"
+	"parsum/internal/core"
+	"parsum/internal/mapreduce"
+)
+
+// Options configures the parallel and adaptive summation algorithms; the
+// zero value is ready to use. See core.Options for field documentation.
+type Options = core.Options
+
+// AdaptiveStats reports what the condition-number-sensitive algorithm did.
+type AdaptiveStats = core.AdaptiveStats
+
+// Sum returns the correctly rounded (round-to-nearest-even, hence also
+// faithfully rounded) value of the exact sum of xs. NaN and infinities
+// follow IEEE semantics: any NaN, or both +Inf and −Inf, yield NaN; a
+// single-signed infinity dominates. The exact sum of an empty or fully
+// cancelling input is +0.
+func Sum(xs []float64) float64 { return core.Sum(xs) }
+
+// SumParallel is Sum computed by opt.Workers goroutines. The result is
+// bit-identical to Sum for every worker count, chunk size, and merge
+// order.
+func SumParallel(xs []float64, opt Options) float64 { return core.SumParallel(xs, opt) }
+
+// SumAdaptive is the paper's condition-number-sensitive algorithm
+// (Theorem 4): it sums with γ-truncated sparse superaccumulators, squaring
+// the truncation bound each round until a certified stopping condition
+// holds, so well-conditioned inputs cost a single linear-work round. The
+// result is a faithful rounding of the exact sum.
+func SumAdaptive(xs []float64, opt Options) (float64, AdaptiveStats) {
+	return core.SumAdaptive(xs, opt)
+}
+
+// IFastSum returns the correctly rounded sum of xs using the sequential
+// distillation algorithm of Zhu & Hayes (2009) — the paper's sequential
+// comparator, exposed for benchmarking and as a fallback-free EFT-based
+// alternative on well-conditioned data.
+func IFastSum(xs []float64) float64 { return baseline.IFastSum(xs) }
+
+// ConditionNumber returns C(X) = Σ|xᵢ| / |Σxᵢ|, computed exactly: 1 for
+// empty or all-zero input, +Inf for a nonzero input with exact zero sum,
+// NaN if the input contains NaN or infinities.
+func ConditionNumber(xs []float64) float64 { return condition.Number(xs) }
+
+// Accumulator is a streaming exact summator: a dense (α,β)-regularized
+// superaccumulator spanning the full float64 range. The zero value is not
+// usable; construct with NewAccumulator.
+type Accumulator struct {
+	d *accum.Dense
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{d: accum.NewDense(0)}
+}
+
+// Add accumulates x exactly.
+func (a *Accumulator) Add(x float64) { a.d.Add(x) }
+
+// AddSlice accumulates every element of xs exactly.
+func (a *Accumulator) AddSlice(xs []float64) { a.d.AddSlice(xs) }
+
+// Merge adds the exact contents of o into a; o is unchanged. Accumulators
+// built from disjoint data merge to exactly the accumulator of the
+// combined data, in any order.
+func (a *Accumulator) Merge(o *Accumulator) { a.d.Merge(o.d.Clone()) }
+
+// Round returns the correctly rounded float64 value of the exact sum
+// accumulated so far. The accumulator remains usable.
+func (a *Accumulator) Round() float64 { return a.d.Round() }
+
+// Reset empties the accumulator.
+func (a *Accumulator) Reset() { a.d.Reset() }
+
+// Clone returns an independent copy.
+func (a *Accumulator) Clone() *Accumulator { return &Accumulator{d: a.d.Clone()} }
+
+// MRConfig configures MapReduceSum; see the mapreduce package for field
+// documentation. The zero value models a single-worker cluster.
+type MRConfig = mapreduce.Config
+
+// MRResult is the result of a MapReduceSum job: the exact rounded sum plus
+// the modeled cluster statistics.
+type MRResult = mapreduce.Result
+
+// MapReduceSum runs the paper's single-round MapReduce summation on the
+// in-process simulated cluster and returns the exact rounded sum with job
+// statistics (shuffle volume, modeled makespan per phase).
+func MapReduceSum(xs []float64, cfg MRConfig) MRResult { return mapreduce.Run(xs, cfg) }
+
+// Sum32 returns the correctly rounded float32 sum of xs. The accumulation
+// is exact and the single rounding targets binary32 directly, avoiding the
+// double rounding of "sum in float64, then convert".
+func Sum32(xs []float32) float32 { return core.Sum32(xs) }
+
+// Round32 returns the correctly rounded float32 value of the exact sum
+// accumulated so far (one rounding, directly to binary32).
+func (a *Accumulator) Round32() float32 { return a.d.Round32() }

@@ -1,0 +1,90 @@
+package parsum_test
+
+import (
+	"math"
+	"testing"
+
+	"parsum"
+	"parsum/internal/gen"
+	"parsum/internal/oracle"
+)
+
+func TestPublicSumAgainstOracle(t *testing.T) {
+	for _, d := range gen.AllDists {
+		xs := gen.New(gen.Config{Dist: d, N: 5000, Delta: 1000, Seed: 1}).Slice()
+		want := oracle.Sum(xs)
+		if got := parsum.Sum(xs); got != want {
+			t.Fatalf("%v: Sum=%g oracle=%g", d, got, want)
+		}
+		if got := parsum.SumParallel(xs, parsum.Options{Workers: 4, ChunkSize: 256}); got != want {
+			t.Fatalf("%v: SumParallel=%g oracle=%g", d, got, want)
+		}
+		if got := parsum.IFastSum(xs); got != want {
+			t.Fatalf("%v: IFastSum=%g oracle=%g", d, got, want)
+		}
+		if got, st := parsum.SumAdaptive(xs, parsum.Options{}); !st.Certified || !oracle.Faithful(xs, got) {
+			t.Fatalf("%v: SumAdaptive=%g not faithful/certified", d, got)
+		}
+		res := parsum.MapReduceSum(xs, parsum.MRConfig{Workers: 4, SplitSize: 512})
+		if res.Sum != want {
+			t.Fatalf("%v: MapReduceSum=%g oracle=%g", d, res.Sum, want)
+		}
+	}
+}
+
+func TestAccumulatorLifecycle(t *testing.T) {
+	a := parsum.NewAccumulator()
+	a.Add(1e100)
+	a.Add(1)
+	a.Add(-1e100)
+	if got := a.Round(); got != 1 {
+		t.Fatalf("Round = %g, want 1", got)
+	}
+	// Round is non-destructive.
+	a.Add(2)
+	if got := a.Round(); got != 3 {
+		t.Fatalf("Round after more adds = %g, want 3", got)
+	}
+	b := parsum.NewAccumulator()
+	b.Add(0.5)
+	a.Merge(b)
+	if got := a.Round(); got != 3.5 {
+		t.Fatalf("after merge = %g, want 3.5", got)
+	}
+	// Merge must not consume the source.
+	if got := b.Round(); got != 0.5 {
+		t.Fatalf("merge source changed: %g", got)
+	}
+	c := a.Clone()
+	a.Reset()
+	if got := a.Round(); got != 0 {
+		t.Fatalf("after reset = %g", got)
+	}
+	if got := c.Round(); got != 3.5 {
+		t.Fatalf("clone = %g, want 3.5", got)
+	}
+}
+
+func TestPublicDocExamples(t *testing.T) {
+	// The classic motivating example: naive summation loses the 1.
+	xs := []float64{1e100, 1, -1e100}
+	var naive float64
+	for _, x := range xs {
+		naive += x
+	}
+	if naive == 1 {
+		t.Skip("platform summed exactly?")
+	}
+	if got := parsum.Sum(xs); got != 1 {
+		t.Fatalf("Sum = %g, want 1", got)
+	}
+	if got := parsum.ConditionNumber(xs); !(got > 1e99) {
+		t.Fatalf("ConditionNumber = %g", got)
+	}
+	if got := parsum.ConditionNumber(nil); got != 1 {
+		t.Fatalf("ConditionNumber(nil) = %g", got)
+	}
+	if got := parsum.ConditionNumber([]float64{1, -1}); !math.IsInf(got, 1) {
+		t.Fatalf("ConditionNumber(zero sum) = %g", got)
+	}
+}
