@@ -6,8 +6,12 @@
 //
 //	sumbench -figure f1 [-sizes 1000000,10000000] [-delta 2000] [-workers 32]
 //	sumbench -figure all -quick
+//	sumbench -figure engines                  # list the engine registry
+//	sumbench -figure parallel -jsonout BENCH_parallel.json
 //
-// Figures: f1 f2 f3 pram cond em carry radix combiner seq all.
+// Figures: f1 f2 f3 pram cond em carry radix sigma combiner seq parallel
+// engines all. The seq and parallel figures enumerate the summation-engine
+// registry, so newly registered engines appear without harness changes.
 package main
 
 import (
@@ -18,11 +22,12 @@ import (
 	"strings"
 
 	"parsum/internal/bench"
+	"parsum/internal/engine"
 )
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", "which experiment to run: f1 f2 f3 pram cond em carry radix combiner seq all")
+		figure    = flag.String("figure", "all", "which experiment to run: f1 f2 f3 pram cond em carry radix sigma combiner seq parallel engines all")
 		sizes     = flag.String("sizes", "1000000,10000000,100000000", "comma-separated input sizes for figure 1")
 		n         = flag.Int64("n", 10_000_000, "input size for figures 2 and 3")
 		delta     = flag.Int("delta", 2000, "exponent-range parameter δ for figures 1 and 3")
@@ -32,6 +37,9 @@ func main() {
 		split     = flag.Int("split", 1<<20, "elements per input split")
 		seed      = flag.Uint64("seed", 1, "dataset seed")
 		quick     = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		engines   = flag.String("engines", "dense,sparse,small,large", "engines for the parallel figure")
+		reps      = flag.Int("reps", 3, "repetitions per parallel cell (best-of)")
+		jsonOut   = flag.String("jsonout", "", "write the parallel figure's snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -91,13 +99,41 @@ func main() {
 				sz = 1_000_000
 			}
 			show(bench.SeqTable(sz, *delta)...)
+		case "parallel":
+			sz := nn
+			if *quick {
+				sz = 1_000_000
+			}
+			names := splitNames(*engines)
+			for _, nm := range names {
+				if _, ok := engine.Get(nm); !ok {
+					fmt.Fprintf(os.Stderr, "unknown engine %q (known: %s)\n", nm, strings.Join(engine.Names(), ", "))
+					os.Exit(2)
+				}
+			}
+			snap := bench.ParallelBench(sz, *delta, wl, names, *reps)
+			show(snap.Table())
+			if *jsonOut != "" {
+				data, err := snap.JSON()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "encoding snapshot: %v\n", err)
+					os.Exit(1)
+				}
+				if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+				fmt.Printf("snapshot written to %s\n", *jsonOut)
+			}
+		case "engines":
+			listEngines()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *figure == "all" {
-		for _, f := range []string{"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma", "combiner", "seq"} {
+		for _, f := range []string{"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma", "combiner", "seq", "parallel"} {
 			run(f)
 		}
 		return
@@ -105,6 +141,37 @@ func main() {
 	for _, f := range strings.Split(*figure, ",") {
 		run(strings.TrimSpace(f))
 	}
+}
+
+// listEngines prints the summation-engine registry with capability flags.
+func listEngines() {
+	fmt.Printf("%-12s %-8s %s\n", "ENGINE", "CAPS", "DESCRIPTION")
+	for _, e := range engine.All() {
+		c := e.Caps()
+		flags := ""
+		for _, f := range []struct {
+			on bool
+			ch string
+		}{{c.Exact, "E"}, {c.CorrectlyRounded, "R"}, {c.Faithful, "F"}, {c.DeterministicParallel, "P"}, {c.Streaming, "S"}} {
+			if f.on {
+				flags += f.ch
+			} else {
+				flags += "-"
+			}
+		}
+		fmt.Printf("%-12s %-8s %s\n", e.Name(), flags, e.Doc())
+	}
+	fmt.Println("caps: E=exact R=correctly-rounded F=faithful P=deterministic-parallel S=streaming")
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseInts(s string) []int {

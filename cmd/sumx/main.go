@@ -1,13 +1,16 @@
 // Command sumx computes the exact, correctly rounded sum of a stream of
 // float64 values — the end-user face of the library. It reads decimal text
 // (whitespace-separated) or raw little-endian float64 binary from stdin or
-// the named files.
+// the named files, accumulating through any streaming engine in the
+// summation-engine registry.
 //
 // Usage:
 //
 //	sumgen -dist sumzero -n 1000000 | sumx
 //	sumx -bin data.f64
 //	sumx -stats data.txt        # also print n, Σ|x|, C(X), σ
+//	sumx -engine dense data.txt # pick a registered engine
+//	sumx -engines               # list the registry and exit
 //
 // Note that text input is parsed with strconv.ParseFloat, which rounds each
 // decimal literal to the nearest float64 first; the sum is exact over those
@@ -24,18 +27,41 @@ import (
 	"os"
 	"strconv"
 
-	"parsum/internal/accum"
+	_ "parsum/internal/baseline" // register baseline engines
+	_ "parsum/internal/core"     // register superaccumulator engines
+	"parsum/internal/engine"
 )
 
 func main() {
 	var (
-		bin   = flag.Bool("bin", false, "input is raw little-endian float64 binary")
-		stats = flag.Bool("stats", false, "print count, Σ|x|, condition number, and accumulator σ")
+		bin     = flag.Bool("bin", false, "input is raw little-endian float64 binary")
+		stats   = flag.Bool("stats", false, "print count, Σ|x|, condition number, and accumulator σ")
+		engName = flag.String("engine", "sparse", "streaming summation engine (see -engines)")
+		list    = flag.Bool("engines", false, "list registered engines and exit")
 	)
 	flag.Parse()
 
-	sum := accum.NewWindow(0)
-	abs := accum.NewWindow(0)
+	if *list {
+		for _, e := range engine.All() {
+			streaming := " "
+			if e.Caps().Streaming {
+				streaming = "*"
+			}
+			fmt.Printf("%s %-12s %s\n", streaming, e.Name(), e.Doc())
+		}
+		fmt.Println("engines marked * stream and are usable with -engine")
+		return
+	}
+
+	eng, ok := engine.Get(*engName)
+	if !ok {
+		fail(fmt.Errorf("unknown engine %q (see -engines)", *engName))
+	}
+	sum := eng.NewAccumulator()
+	if sum == nil {
+		fail(fmt.Errorf("engine %q does not stream; pick a streaming engine (see -engines)", *engName))
+	}
+	abs := eng.NewAccumulator()
 	var n int64
 
 	process := func(r io.Reader) error {
@@ -108,8 +134,12 @@ func main() {
 		default:
 			c = a / math.Abs(s)
 		}
-		fmt.Fprintf(os.Stderr, "n=%d  sum|x|=%g  C(X)=%g  sigma=%d components\n",
-			n, a, c, sum.ToSparse().Len())
+		sigma := "n/a"
+		if sc, ok := sum.(engine.SigmaCounter); ok {
+			sigma = strconv.Itoa(sc.Sigma())
+		}
+		fmt.Fprintf(os.Stderr, "n=%d  sum|x|=%g  C(X)=%g  sigma=%s components  engine=%s\n",
+			n, a, c, sigma, *engName)
 	}
 }
 

@@ -1,0 +1,3 @@
+module parsum
+
+go 1.24

@@ -112,6 +112,11 @@ func digitBounds(w uint) (minIdx, maxIdx int) {
 	return minIdx, maxIdx
 }
 
+// CheckedWidth validates w, mapping 0 to DefaultWidth and panicking
+// outside [MinWidth, MaxWidth]; exported for callers that index their own
+// state by digit width and need the same diagnostic as the constructors.
+func CheckedWidth(w uint) uint { return widthOrDefault(w) }
+
 // widthOrDefault validates w, mapping 0 to DefaultWidth.
 func widthOrDefault(w uint) uint {
 	if w == 0 {

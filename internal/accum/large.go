@@ -87,6 +87,21 @@ func (l *Large) Merge(o *Large) {
 	l.base.Merge(o.base)
 }
 
+// Reset empties the accumulator, retaining its storage.
+func (l *Large) Reset() {
+	l.bins = [2048]int64{}
+	l.nAdd = 0
+	l.base.Reset()
+	l.sp = special{}
+}
+
+// Clone returns an independent copy of l.
+func (l *Large) Clone() *Large {
+	c := *l
+	c.base = l.base.Clone()
+	return &c
+}
+
 // Round returns the correctly rounded float64 value of the exact sum.
 func (l *Large) Round() float64 {
 	if v, ok := l.sp.resolved(); ok {

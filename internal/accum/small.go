@@ -92,6 +92,9 @@ func (s *Small) Propagate() {
 // baseline behaviour).
 func (s *Small) Merge(o *Small) {
 	s.sp.merge(o.sp)
+	if s.nAdd+o.nAdd+1 > s.maxAdd {
+		s.Propagate() // o.nAdd ≤ maxAdd by construction, so this suffices
+	}
 	for i, v := range o.dig {
 		s.dig[i] += v
 	}
@@ -114,6 +117,13 @@ func (s *Small) Reset() {
 	}
 	s.nAdd = 0
 	s.sp = special{}
+}
+
+// Clone returns an independent copy of s.
+func (s *Small) Clone() *Small {
+	c := *s
+	c.dig = append([]int64(nil), s.dig...)
+	return &c
 }
 
 // EncodedSize returns the bytes a dense binary encoding would occupy; used

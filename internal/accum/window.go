@@ -155,6 +155,36 @@ func (a *Window) regularize() {
 	a.nAdd = 0
 }
 
+// Merge adds o into a exactly, growing the window to cover o's active
+// range. Like Dense.Merge it is a digit-wise addition that regularizes
+// first only when the combined lazy-add budget would overflow; o is not
+// modified. Widths must match.
+func (a *Window) Merge(o *Window) {
+	if a.w != o.w {
+		panic("accum: width mismatch in Window.Merge")
+	}
+	a.sp.merge(o.sp)
+	if len(o.win) == 0 {
+		return
+	}
+	if a.nAdd+o.nAdd+1 > a.maxAdd {
+		a.regularize() // o.nAdd ≤ maxAdd by construction, so this suffices
+	}
+	a.ensure(o.base, o.base+len(o.win)-1)
+	off := o.base - a.base
+	for i, v := range o.win {
+		a.win[off+i] += v
+	}
+	a.nAdd += o.nAdd + 1
+}
+
+// Clone returns an independent copy of a.
+func (a *Window) Clone() *Window {
+	c := *a
+	c.win = append([]int64(nil), a.win...)
+	return &c
+}
+
 // ToSparse converts the window to the canonical sparse representation,
 // skipping zero digits. The window is regularized as a side effect.
 func (a *Window) ToSparse() *Sparse {

@@ -1,0 +1,39 @@
+package baseline
+
+import "parsum/internal/engine"
+
+// Registry names of the engines this package provides. IFastSum is exact
+// and correctly rounded; the rest are the non-exact comparators of the
+// sequential shoot-out, registered so the bench harness and tools can
+// enumerate every strategy uniformly. None of them stream: the compensated
+// methods carry correction terms that do not merge exactly, so parallel
+// requests fall back to the sequential one-shot Sum.
+const (
+	EngineIFastSum   = "ifastsum"
+	EngineNaive      = "naive"
+	EngineKahan      = "kahan"
+	EngineNeumaier   = "neumaier"
+	EnginePairwise   = "pairwise"
+	EngineDemmelHida = "demmel-hida"
+)
+
+func init() {
+	engine.Register(engine.New(EngineIFastSum,
+		"Zhu & Hayes (2009) distillation with certified correct rounding (sequential comparator)",
+		engine.Caps{Exact: true, CorrectlyRounded: true}, IFastSum, nil))
+	engine.Register(engine.New(EngineNaive,
+		"left-to-right floating-point accumulation (no accuracy guarantee)",
+		engine.Caps{}, Naive, nil))
+	engine.Register(engine.New(EngineKahan,
+		"Kahan compensated summation",
+		engine.Caps{}, Kahan, nil))
+	engine.Register(engine.New(EngineNeumaier,
+		"Kahan–Babuška summation, robust to |x| > |s|",
+		engine.Caps{}, Neumaier, nil))
+	engine.Register(engine.New(EnginePairwise,
+		"pairwise (tree) summation with O(log n) error growth",
+		engine.Caps{}, Pairwise, nil))
+	engine.Register(engine.New(EngineDemmelHida,
+		"decreasing-magnitude-order accumulation (Demmel & Hida 2004); accurate, not faithful",
+		engine.Caps{}, DemmelHida, nil))
+}

@@ -15,6 +15,7 @@ import (
 	"parsum/internal/baseline"
 	"parsum/internal/condition"
 	"parsum/internal/core"
+	"parsum/internal/engine"
 	"parsum/internal/extmem"
 	"parsum/internal/gen"
 	"parsum/internal/mapreduce"
@@ -441,35 +442,21 @@ func CombinerTable(n int64, cfg Config) Table {
 	return t
 }
 
-// SeqTable is the sequential shoot-out: wall time of every sequential
-// method on each distribution, with the error (in ulps of the correct
-// result) of the non-exact ones.
+// SeqTable is the sequential shoot-out: one-shot wall time of every
+// registered summation engine on each distribution, with the error (in
+// ulps of the correct result) of the ones that do not promise correct
+// rounding. The column set is the engine registry, so a newly registered
+// engine shows up here with no harness change.
 func SeqTable(n int64, delta int) []Table {
 	var out []Table
-	type method struct {
-		name  string
-		exact bool
-		f     func([]float64) float64
-	}
-	methods := []method{
-		{"naive", false, baseline.Naive},
-		{"kahan", false, baseline.Kahan},
-		{"neumaier", false, baseline.Neumaier},
-		{"pairwise", false, baseline.Pairwise},
-		{"demmel-hida", false, baseline.DemmelHida},
-		{"iFastSum", true, baseline.IFastSum},
-		{"dense-acc", true, core.Sum},
-		{"sparse-acc", true, core.SumSparse},
-		{"small-acc", true, func(xs []float64) float64 { s := accum.NewSmall(); s.AddSlice(xs); return s.Round() }},
-		{"large-acc", true, func(xs []float64) float64 { l := accum.NewLarge(); l.AddSlice(xs); return l.Round() }},
-	}
+	engines := engine.All()
 	var names []string
-	for _, m := range methods {
-		names = append(names, m.name)
+	for _, e := range engines {
+		names = append(names, e.Name())
 	}
 	for _, d := range gen.AllDists {
 		t := Table{
-			Title:  fmt.Sprintf("T-SEQ — sequential methods on %s (n=%d, δ=%d)", d, n, delta),
+			Title:  fmt.Sprintf("T-SEQ — registered engines on %s (n=%d, δ=%d)", d, n, delta),
 			XLabel: "metric",
 			Series: names,
 		}
@@ -477,17 +464,17 @@ func SeqTable(n int64, delta int) []Table {
 		exact := core.Sum(xs)
 		times := map[string]string{}
 		errs := map[string]string{}
-		for _, m := range methods {
+		for _, e := range engines {
 			var v float64
-			dur := timeIt(func() { v = m.f(xs) })
-			times[m.name] = secs(dur)
+			dur := timeIt(func() { v = e.Sum(xs) })
+			times[e.Name()] = secs(dur)
 			switch {
 			case v == exact:
-				errs[m.name] = "0"
-			case m.exact:
-				errs[m.name] = fmt.Sprintf("BUG(%g≠%g)", v, exact)
+				errs[e.Name()] = "0"
+			case e.Caps().CorrectlyRounded:
+				errs[e.Name()] = fmt.Sprintf("BUG(%g≠%g)", v, exact)
 			default:
-				errs[m.name] = fmt.Sprintf("%.3g", ulpsApart(exact, v))
+				errs[e.Name()] = fmt.Sprintf("%.3g", ulpsApart(exact, v))
 			}
 		}
 		t.Rows = append(t.Rows, Row{X: "time", Values: times})

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"parsum/internal/core"
+	"parsum/internal/engine"
+	"parsum/internal/gen"
+)
+
+// ParallelPoint is one measured cell of the shared-memory parallel
+// benchmark: an engine at a worker count.
+type ParallelPoint struct {
+	Engine   string  `json:"engine"`
+	Workers  int     `json:"workers"`
+	Chunk    int     `json:"chunk"` // effective leaf chunk (auto-tuned when Config leaves it 0)
+	NsPerOp  int64   `json:"ns_per_op"`
+	MopsPerS float64 `json:"mops_per_s"`
+	Speedup  float64 `json:"speedup_vs_base"` // vs the same engine at its lowest measured worker count
+}
+
+// ParallelSnapshot is the recorded result of ParallelBench — the perf
+// trajectory file BENCH_parallel.json that future optimisation PRs
+// compare against.
+type ParallelSnapshot struct {
+	N          int64           `json:"n"`
+	Delta      int             `json:"delta"`
+	Dist       string          `json:"dist"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Reps       int             `json:"reps"` // best-of-reps wall time per cell
+	Points     []ParallelPoint `json:"points"`
+}
+
+// ParallelBench measures core.SumParallel for the named engines across
+// worker counts on one generated dataset, best-of-reps per cell. Engine
+// names must be registered; the engines' capability flags decide whether
+// a cell truly runs in parallel or falls back to the sequential one-shot
+// (the fallback is still measured — it is what a caller would get).
+func ParallelBench(n int64, delta int, workerList []int, engines []string, reps int) ParallelSnapshot {
+	if reps < 1 {
+		reps = 1
+	}
+	snap := ParallelSnapshot{
+		N:          n,
+		Delta:      delta,
+		Dist:       gen.Random.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	xs := gen.New(gen.Config{Dist: gen.Random, N: n, Delta: delta, Seed: 21}).Slice()
+	for _, name := range engines {
+		engine.MustGet(name) // fail loudly before timing anything
+		points := make([]ParallelPoint, 0, len(workerList))
+		for _, w := range workerList {
+			opt := core.Options{Engine: name, Workers: w}
+			best := time.Duration(1<<63 - 1)
+			for r := 0; r < reps; r++ {
+				d := timeIt(func() { core.SumParallel(xs, opt) })
+				if d < best {
+					best = d
+				}
+			}
+			points = append(points, ParallelPoint{
+				Engine:   name,
+				Workers:  w,
+				Chunk:    core.AutoChunk(len(xs), w),
+				NsPerOp:  best.Nanoseconds(),
+				MopsPerS: float64(n) / best.Seconds() / 1e6,
+			})
+		}
+		// One stable baseline per engine: the 1-worker cell when measured,
+		// else the lowest measured worker count.
+		base, baseW := int64(0), 0
+		for _, p := range points {
+			if base == 0 || p.Workers < baseW {
+				base, baseW = p.NsPerOp, p.Workers
+			}
+		}
+		for i := range points {
+			points[i].Speedup = float64(base) / float64(points[i].NsPerOp)
+		}
+		snap.Points = append(snap.Points, points...)
+	}
+	return snap
+}
+
+// Table renders the snapshot as one experiment table per engine.
+func (s ParallelSnapshot) Table() Table {
+	t := Table{
+		Title:  fmt.Sprintf("T-PAR — SumParallel engines (n=%d, δ=%d, GOMAXPROCS=%d, best of %d)", s.N, s.Delta, s.GoMaxProcs, s.Reps),
+		XLabel: "engine/workers",
+		Series: []string{"chunk", "time", "Mops/s", "speedup"},
+	}
+	for _, p := range s.Points {
+		t.Rows = append(t.Rows, Row{
+			X: fmt.Sprintf("%s/%d", p.Engine, p.Workers),
+			Values: map[string]string{
+				"chunk":   fmt.Sprintf("%d", p.Chunk),
+				"time":    secs(time.Duration(p.NsPerOp)),
+				"Mops/s":  fmt.Sprintf("%.1f", p.MopsPerS),
+				"speedup": fmt.Sprintf("%.2fx", p.Speedup),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		"engines without deterministic streaming merges fall back to their sequential one-shot Sum")
+	return t
+}
+
+// JSON renders the snapshot as indented JSON for BENCH_parallel.json.
+func (s ParallelSnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

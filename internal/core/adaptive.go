@@ -36,10 +36,14 @@ func SumAdaptive(xs []float64, opt Options) (float64, AdaptiveStats) {
 		return 0, st
 	}
 	w := opt.Width
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = 1 << 16 // exact-leaf block size; the tree only matters above it
+	}
 	for r := 2; ; r = r * r {
 		st.Rounds++
 		st.FinalR = r
-		t := adaptiveMerge(xs, r, w, opt.chunkSize(), &st.Work)
+		t := adaptiveMerge(xs, r, w, chunk, &st.Work)
 		if !t.Truncated {
 			st.Exact = true
 			st.Certified = true

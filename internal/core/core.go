@@ -1,14 +1,17 @@
 // Package core implements the paper's summation algorithms on top of the
-// superaccumulator representations in internal/accum:
+// superaccumulator representations in internal/accum, and registers each
+// of them as a pluggable engine (see internal/engine):
 //
 //   - Sum / SumSparse: sequential exact summation (convert, accumulate
 //     exactly, round once) — the paper's Section 3 sequential building
 //     block, used by the MapReduce combiners.
 //   - SumParallel: the shared-memory parallel summation tree. Chunks of the
-//     input are accumulated exactly by a pool of goroutines and the partial
-//     superaccumulators are merged carry-free (Lemma 1), so the result is
-//     the same exact, correctly rounded value for every worker count and
-//     every merge order.
+//     input are pulled off a shared cursor by a pool of goroutines,
+//     accumulated exactly into pooled superaccumulators, and the partials
+//     are combined carry-free (Lemma 1) in a log-depth merge tree, so the
+//     result is the same exact, correctly rounded value for every worker
+//     count, chunk size, and merge order. Options.Engine routes the same
+//     machinery through any registered engine whose capabilities allow it.
 //   - SumAdaptive: the condition-number-sensitive algorithm of Section 4,
 //     using γ-truncated sparse superaccumulators with the truncation bound
 //     squared every round until a certified stopping condition holds.
@@ -16,25 +19,34 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
 	"parsum/internal/accum"
+	"parsum/internal/engine"
 )
 
 // Options configures the parallel and adaptive algorithms. The zero value
 // is ready to use.
 type Options struct {
 	// Width is the superaccumulator digit width W (radix 2^W); 0 means
-	// accum.DefaultWidth.
+	// accum.DefaultWidth. It applies to the built-in dense/sparse engines;
+	// other engines use their own representations.
 	Width uint
 	// Workers is the number of concurrent goroutines; 0 means GOMAXPROCS.
 	Workers int
 	// ChunkSize is the number of elements accumulated per leaf task;
-	// 0 means a default sized for cache friendliness.
+	// 0 auto-tunes from the input length and worker count (see AutoChunk).
 	ChunkSize int
 	// UseSparse selects window/sparse accumulators for the leaves instead
 	// of dense ones (trades fixed footprint for σ(n)-proportional state).
+	// It is shorthand for Engine == EngineSparse and is ignored when
+	// Engine is set.
 	UseSparse bool
+	// Engine selects a registered summation engine by name; "" means
+	// EngineDense (or EngineSparse when UseSparse is set). Unknown names
+	// panic with the list of registered engines. Engines that are not
+	// streaming or whose merges are not deterministic fall back to their
+	// sequential one-shot Sum under SumParallel.
+	Engine string
 }
 
 func (o Options) workers() int {
@@ -44,19 +56,34 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) chunkSize() int {
+// chunkFor resolves the leaf chunk size for an n-element input summed by
+// p workers, auto-tuning when no explicit ChunkSize is set.
+func (o Options) chunkFor(n, p int) int {
 	if o.ChunkSize > 0 {
 		return o.ChunkSize
 	}
-	return 1 << 16
+	return AutoChunk(n, p)
+}
+
+// engineName resolves which registered engine the options select.
+func (o Options) engineName() string {
+	if o.Engine != "" {
+		return o.Engine
+	}
+	if o.UseSparse {
+		return EngineSparse
+	}
+	return EngineDense
 }
 
 // Sum returns the correctly rounded (hence faithfully rounded) sum of xs,
 // computed exactly with a dense superaccumulator.
 func Sum(xs []float64) float64 {
-	d := accum.NewDense(0)
+	d := getDense(0)
 	d.AddSlice(xs)
-	return d.Round()
+	v := d.Round()
+	putDense(d)
+	return v
 }
 
 // SumSparse returns the correctly rounded sum of xs computed exactly with a
@@ -67,100 +94,51 @@ func SumSparse(xs []float64) float64 {
 	return w.Round()
 }
 
-// SumParallel returns the correctly rounded sum of xs computed exactly by
-// opt.Workers goroutines. The result is bit-identical for every worker
-// count, chunk size, and merge order, because every partial result is an
-// exact superaccumulator.
+// SumEngine returns the one-shot sum of xs by the named registered engine
+// ("" selects the dense default). It panics on an unknown name; use
+// engine.Get for a checked lookup.
+func SumEngine(name string, xs []float64) float64 {
+	if name == "" {
+		name = EngineDense
+	}
+	return engine.MustGet(name).Sum(xs)
+}
+
+// SumParallel returns the selected engine's sum of xs computed by
+// opt.Workers goroutines. For engines with deterministic merges (all the
+// exact superaccumulator engines) the result is bit-identical for every
+// worker count, chunk size, and merge order, because every partial result
+// is exact; engines without streaming deterministic merges are computed
+// sequentially with their one-shot Sum.
 func SumParallel(xs []float64, opt Options) float64 {
+	name := opt.engineName()
 	p := opt.workers()
-	if p <= 1 || len(xs) <= opt.chunkSize() {
-		if opt.UseSparse {
-			return SumSparse(xs)
+	chunk := opt.chunkFor(len(xs), p)
+	sequential := p <= 1 || len(xs) <= chunk
+	switch name {
+	case EngineDense:
+		if sequential {
+			d := getDense(opt.Width)
+			d.AddSlice(xs)
+			v := d.Round()
+			putDense(d)
+			return v
 		}
-		return Sum(xs)
-	}
-	if opt.UseSparse {
-		return parallelSparse(xs, p, opt)
-	}
-	return parallelDense(xs, p, opt)
-}
-
-// parallelDense fans chunk accumulation out to p goroutines, each owning
-// one dense accumulator, then merges the partials.
-func parallelDense(xs []float64, p int, opt Options) float64 {
-	chunk := opt.chunkSize()
-	var next int
-	var mu sync.Mutex
-	parts := make([]*accum.Dense, p)
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			d := accum.NewDense(opt.Width)
-			for {
-				mu.Lock()
-				lo := next
-				next += chunk
-				mu.Unlock()
-				if lo >= len(xs) {
-					break
-				}
-				hi := lo + chunk
-				if hi > len(xs) {
-					hi = len(xs)
-				}
-				d.AddSlice(xs[lo:hi])
-			}
-			parts[w] = d
-		}(w)
-	}
-	wg.Wait()
-	root := parts[0]
-	root.Regularize()
-	for _, d := range parts[1:] {
-		d.Regularize()
-		root.AddRegularized(d) // Lemma 1 carry-free merge
-	}
-	return root.Round()
-}
-
-// parallelSparse is parallelDense with window accumulators at the leaves
-// and carry-free sparse merges at the root.
-func parallelSparse(xs []float64, p int, opt Options) float64 {
-	chunk := opt.chunkSize()
-	var next int
-	var mu sync.Mutex
-	parts := make([]*accum.Sparse, p)
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		return parallelDense(xs, p, chunk, opt.Width)
+	case EngineSparse:
+		if sequential {
 			a := accum.NewWindow(opt.Width)
-			for {
-				mu.Lock()
-				lo := next
-				next += chunk
-				mu.Unlock()
-				if lo >= len(xs) {
-					break
-				}
-				hi := lo + chunk
-				if hi > len(xs) {
-					hi = len(xs)
-				}
-				a.AddSlice(xs[lo:hi])
-			}
-			parts[w] = a.ToSparse()
-		}(w)
+			a.AddSlice(xs)
+			return a.Round()
+		}
+		return parallelSparse(xs, p, chunk, opt.Width)
 	}
-	wg.Wait()
-	root := parts[0]
-	for _, s := range parts[1:] {
-		root = accum.MergeSparse(root, s)
+	e := engine.MustGet(name)
+	caps := e.Caps()
+	if sequential || !caps.Streaming || !caps.DeterministicParallel {
+		return e.Sum(xs)
 	}
-	return root.Round()
+	return parallelEngine(xs, e, p, chunk)
 }
 
 // Sum32 returns the correctly rounded float32 value of the exact sum of
@@ -169,9 +147,11 @@ func parallelSparse(xs []float64, p int, opt Options) float64 {
 // rounding (summing in float64 and converting would misround near
 // binary32 rounding boundaries).
 func Sum32(xs []float32) float32 {
-	d := accum.NewDense(0)
+	d := getDense(0)
 	for _, x := range xs {
 		d.Add(float64(x))
 	}
-	return d.Round32()
+	v := d.Round32()
+	putDense(d)
+	return v
 }

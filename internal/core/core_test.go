@@ -149,6 +149,67 @@ func TestSumAdaptiveQuickFaithful(t *testing.T) {
 	}
 }
 
+func TestAutoChunkBounds(t *testing.T) {
+	if got := AutoChunk(100, 4); got != minAutoChunk {
+		t.Fatalf("tiny input: chunk %d, want floor %d", got, minAutoChunk)
+	}
+	if got := AutoChunk(1<<30, 2); got != maxAutoChunk {
+		t.Fatalf("huge input: chunk %d, want ceiling %d", got, maxAutoChunk)
+	}
+	if got, want := AutoChunk(1<<21, 4), (1<<21)/(4*chunksPerWorker); got != want || got == minAutoChunk || got == maxAutoChunk {
+		t.Fatalf("mid input: chunk %d, want unclamped %d", got, want)
+	}
+	if got := AutoChunk(1<<20, 0); got < minAutoChunk || got > maxAutoChunk {
+		t.Fatalf("zero workers: chunk %d out of bounds", got)
+	}
+}
+
+// TestSumParallelPoolReuse exercises the sync.Pool hot path across many
+// calls with different data, widths, and worker counts: stale digits or
+// special flags leaking between pooled accumulators would corrupt results.
+func TestSumParallelPoolReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(20000)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(1600)-800)
+		}
+		opt := Options{
+			Workers:   1 + r.Intn(8),
+			ChunkSize: 1 + r.Intn(2048),
+			Width:     uint(8 + 8*r.Intn(4)),
+		}
+		want := oracle.Sum(xs)
+		if got := SumParallel(xs, opt); got != want {
+			t.Fatalf("trial %d (w=%d): %g != oracle %g", trial, opt.Width, got, want)
+		}
+	}
+	// A NaN-poisoned run must not leak its special flags into the pool.
+	if got := SumParallel([]float64{1, math.NaN(), 2}, Options{Workers: 2, ChunkSize: 1}); !math.IsNaN(got) {
+		t.Fatalf("NaN input: got %g", got)
+	}
+	if got := SumParallel([]float64{1, 2, 3}, Options{Workers: 2, ChunkSize: 1}); got != 6 {
+		t.Fatalf("after NaN run: got %g, want 6", got)
+	}
+	if got := Sum([]float64{4, 5}); got != 9 {
+		t.Fatalf("sequential after NaN run: got %g, want 9", got)
+	}
+}
+
+func TestSumEngineDispatch(t *testing.T) {
+	xs := genData(gen.Random, 3000, 800, 51)
+	want := oracle.Sum(xs)
+	for _, name := range []string{"", EngineDense, EngineSparse, EngineSmall, EngineLarge} {
+		if got := SumEngine(name, xs); got != want {
+			t.Fatalf("SumEngine(%q)=%g oracle=%g", name, got, want)
+		}
+	}
+	if got := SumParallel(xs, Options{Engine: EngineLarge, Workers: 4, ChunkSize: 256}); got != want {
+		t.Fatalf("SumParallel(large)=%g oracle=%g", got, want)
+	}
+}
+
 func TestSumHandlesSpecials(t *testing.T) {
 	if got := Sum([]float64{1, math.Inf(1)}); !math.IsInf(got, 1) {
 		t.Fatalf("got %g", got)

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"parsum/internal/accum"
+	"parsum/internal/engine"
+)
+
+// Registry names of the engines this package provides. EngineDense and
+// EngineSparse have specialized parallel hot paths (pooled accumulators,
+// Lemma 1 tree merge); the others run through the generic engine path.
+const (
+	EngineDense    = "dense"
+	EngineSparse   = "sparse"
+	EngineAdaptive = "adaptive"
+	EngineSmall    = "small"
+	EngineLarge    = "large"
+)
+
+func init() {
+	exactParallel := engine.Caps{
+		Exact:                 true,
+		CorrectlyRounded:      true,
+		DeterministicParallel: true,
+		Streaming:             true,
+	}
+	engine.Register(engine.New(EngineDense,
+		"full-range (α,β)-regularized dense superaccumulator with carry-free Lemma 1 merges",
+		exactParallel, Sum,
+		func() engine.Accumulator { return &denseAcc{d: accum.NewDense(0)} }))
+	engine.Register(engine.New(EngineSparse,
+		"active-window sparse superaccumulator (σ(n)-proportional state, carry-free merges)",
+		exactParallel, SumSparse,
+		func() engine.Accumulator { return &windowAcc{w: accum.NewWindow(0)} }))
+	engine.Register(engine.New(EngineSmall,
+		"Neal-style small superaccumulator (carry-propagating merge baseline)",
+		exactParallel,
+		func(xs []float64) float64 { s := accum.NewSmall(); s.AddSlice(xs); return s.Round() },
+		func() engine.Accumulator { return &smallAcc{s: accum.NewSmall()} }))
+	engine.Register(engine.New(EngineLarge,
+		"Neal-style large superaccumulator (one bin per exponent, fastest sequential accumulate)",
+		exactParallel,
+		func(xs []float64) float64 { l := accum.NewLarge(); l.AddSlice(xs); return l.Round() },
+		func() engine.Accumulator { return &largeAcc{l: accum.NewLarge()} }))
+	engine.Register(engine.New(EngineAdaptive,
+		"condition-number-sensitive γ-truncated summation (Theorem 4; faithful rounding)",
+		engine.Caps{Faithful: true},
+		func(xs []float64) float64 { v, _ := SumAdaptive(xs, Options{}); return v },
+		nil))
+}
+
+// denseAcc adapts accum.Dense to the engine.Accumulator interface.
+type denseAcc struct{ d *accum.Dense }
+
+func (a *denseAcc) Add(x float64)              { a.d.Add(x) }
+func (a *denseAcc) AddSlice(xs []float64)      { a.d.AddSlice(xs) }
+func (a *denseAcc) Merge(o engine.Accumulator) { a.d.Merge(o.(*denseAcc).d) }
+func (a *denseAcc) Round() float64             { return a.d.Round() }
+func (a *denseAcc) Round32() float32           { return a.d.Round32() }
+func (a *denseAcc) Reset()                     { a.d.Reset() }
+func (a *denseAcc) Clone() engine.Accumulator  { return &denseAcc{d: a.d.Clone()} }
+func (a *denseAcc) Sigma() int                 { return a.d.ToSparse().Len() }
+
+// windowAcc adapts accum.Window to the engine.Accumulator interface.
+type windowAcc struct{ w *accum.Window }
+
+func (a *windowAcc) Add(x float64)              { a.w.Add(x) }
+func (a *windowAcc) AddSlice(xs []float64)      { a.w.AddSlice(xs) }
+func (a *windowAcc) Merge(o engine.Accumulator) { a.w.Merge(o.(*windowAcc).w) }
+func (a *windowAcc) Round() float64             { return a.w.Round() }
+func (a *windowAcc) Round32() float32           { return a.w.Round32() }
+func (a *windowAcc) Reset()                     { a.w.Reset() }
+func (a *windowAcc) Clone() engine.Accumulator  { return &windowAcc{w: a.w.Clone()} }
+func (a *windowAcc) Sigma() int                 { return a.w.ToSparse().Len() }
+
+// smallAcc adapts accum.Small to the engine.Accumulator interface.
+type smallAcc struct{ s *accum.Small }
+
+func (a *smallAcc) Add(x float64)              { a.s.Add(x) }
+func (a *smallAcc) AddSlice(xs []float64)      { a.s.AddSlice(xs) }
+func (a *smallAcc) Merge(o engine.Accumulator) { a.s.Merge(o.(*smallAcc).s) }
+func (a *smallAcc) Round() float64             { return a.s.Round() }
+func (a *smallAcc) Reset()                     { a.s.Reset() }
+func (a *smallAcc) Clone() engine.Accumulator  { return &smallAcc{s: a.s.Clone()} }
+
+// largeAcc adapts accum.Large to the engine.Accumulator interface.
+type largeAcc struct{ l *accum.Large }
+
+func (a *largeAcc) Add(x float64)              { a.l.Add(x) }
+func (a *largeAcc) AddSlice(xs []float64)      { a.l.AddSlice(xs) }
+func (a *largeAcc) Merge(o engine.Accumulator) { a.l.Merge(o.(*largeAcc).l) }
+func (a *largeAcc) Round() float64             { return a.l.Round() }
+func (a *largeAcc) Reset()                     { a.l.Reset() }
+func (a *largeAcc) Clone() engine.Accumulator  { return &largeAcc{l: a.l.Clone()} }

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+)
+
+// sumNaive is a real (if inaccurate) summation so the test engines
+// registered here stay harmless when the conformance suite in
+// conformance_test.go enumerates the shared registry.
+func sumNaive(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestRegisterGetNames(t *testing.T) {
+	e := New("test-registry-probe", "probe", Caps{}, sumNaive, nil)
+	Register(e)
+	got, ok := Get("test-registry-probe")
+	if !ok || got.Name() != "test-registry-probe" || got.Doc() != "probe" {
+		t.Fatalf("Get after Register: %v %v", got, ok)
+	}
+	if MustGet("test-registry-probe") != got {
+		t.Fatal("MustGet disagrees with Get")
+	}
+	names := Names()
+	found := false
+	for i, n := range names {
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("Names not strictly sorted: %v", names)
+		}
+		if n == "test-registry-probe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered name missing from Names: %v", names)
+	}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All()=%d entries, Names()=%d", len(all), len(names))
+	}
+	for i, e := range all {
+		if e.Name() != names[i] {
+			t.Fatalf("All/Names order mismatch at %d: %s vs %s", i, e.Name(), names[i])
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(New("test-dup", "first", Caps{}, sumNaive, nil))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(New("test-dup", "second", Caps{}, sumNaive, nil))
+}
+
+func TestMustGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on unknown name did not panic")
+		}
+	}()
+	MustGet("test-no-such-engine")
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("test-no-such-engine"); ok {
+		t.Fatal("Get returned ok for unknown name")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { New("", "d", Caps{}, sumNaive, nil) })
+	mustPanic("nil sum", func() { New("x", "d", Caps{}, nil, nil) })
+	mustPanic("streaming flag without factory", func() {
+		New("x", "d", Caps{Streaming: true}, sumNaive, nil)
+	})
+	mustPanic("factory without streaming flag", func() {
+		New("x", "d", Caps{}, sumNaive, func() Accumulator { return nil })
+	})
+}
+
+func TestCorrectlyRoundedImpliesFaithful(t *testing.T) {
+	e := New("test-cr-implies-faithful", "d", Caps{CorrectlyRounded: true}, sumNaive, nil)
+	if c := e.Caps(); !c.Faithful {
+		t.Fatal("CorrectlyRounded engine must report Faithful")
+	}
+}
+
+func TestNonStreamingAccumulatorIsNil(t *testing.T) {
+	e := New("test-nonstreaming", "d", Caps{}, sumNaive, nil)
+	if e.NewAccumulator() != nil {
+		t.Fatal("non-streaming engine returned an accumulator")
+	}
+}

@@ -22,6 +22,13 @@
 //
 //	a.Merge(b)
 //
+// Every summation strategy is a pluggable engine registered in a
+// process-wide registry; Engines() lists them with their capability flags,
+// and Options.Engine, SumEngine, or NewAccumulatorEngine select one:
+//
+//	sum = parsum.SumParallel(xs, parsum.Options{Engine: "sparse"})
+//	acc, err := parsum.NewAccumulatorEngine("large")
+//
 // Beyond the core API, the internal packages implement the paper's PRAM
 // simulator, external-memory algorithms, single-round MapReduce engine,
 // sequential baselines (including Zhu & Hayes' iFastSum), and the
@@ -29,15 +36,18 @@
 package parsum
 
 import (
-	"parsum/internal/accum"
+	"fmt"
+
 	"parsum/internal/baseline"
 	"parsum/internal/condition"
 	"parsum/internal/core"
+	"parsum/internal/engine"
 	"parsum/internal/mapreduce"
 )
 
 // Options configures the parallel and adaptive summation algorithms; the
-// zero value is ready to use. See core.Options for field documentation.
+// zero value is ready to use. Options.Engine selects any engine listed by
+// Engines(). See core.Options for field documentation.
 type Options = core.Options
 
 // AdaptiveStats reports what the condition-number-sensitive algorithm did.
@@ -75,38 +85,103 @@ func IFastSum(xs []float64) float64 { return baseline.IFastSum(xs) }
 // NaN if the input contains NaN or infinities.
 func ConditionNumber(xs []float64) float64 { return condition.Number(xs) }
 
-// Accumulator is a streaming exact summator: a dense (α,β)-regularized
-// superaccumulator spanning the full float64 range. The zero value is not
-// usable; construct with NewAccumulator.
-type Accumulator struct {
-	d *accum.Dense
+// EngineInfo describes one registered summation engine: its registry
+// name, a one-line description, and its capability flags (see
+// internal/engine.Caps for the exact contracts).
+type EngineInfo struct {
+	Name string
+	Doc  string
+	// Exact: the accumulation is error-free up to a single final rounding.
+	Exact bool
+	// CorrectlyRounded: results are the round-to-nearest-even value of the
+	// exact sum.
+	CorrectlyRounded bool
+	// Faithful: results are a faithful rounding of the exact sum.
+	Faithful bool
+	// DeterministicParallel: SumParallel is bit-identical for every worker
+	// count and chunk size.
+	DeterministicParallel bool
+	// Streaming: NewAccumulatorEngine works for this engine.
+	Streaming bool
 }
 
-// NewAccumulator returns an empty accumulator.
+// Engines lists every registered summation engine, sorted by name. Any
+// Name is valid for Options.Engine and (when Streaming) for
+// NewAccumulatorEngine.
+func Engines() []EngineInfo {
+	all := engine.All()
+	out := make([]EngineInfo, 0, len(all))
+	for _, e := range all {
+		c := e.Caps()
+		out = append(out, EngineInfo{
+			Name:                  e.Name(),
+			Doc:                   e.Doc(),
+			Exact:                 c.Exact,
+			CorrectlyRounded:      c.CorrectlyRounded,
+			Faithful:              c.Faithful,
+			DeterministicParallel: c.DeterministicParallel,
+			Streaming:             c.Streaming,
+		})
+	}
+	return out
+}
+
+// SumEngine returns the named engine's sum of xs in one shot; see
+// Engines() for the names and their accuracy contracts. It panics on an
+// unknown name.
+func SumEngine(name string, xs []float64) float64 { return core.SumEngine(name, xs) }
+
+// Accumulator is a streaming summator backed by a registered engine —
+// by default the paper's dense (α,β)-regularized superaccumulator
+// spanning the full float64 range, which accumulates and merges exactly.
+// The zero value is not usable; construct with NewAccumulator or
+// NewAccumulatorEngine.
+type Accumulator struct {
+	a engine.Accumulator
+}
+
+// NewAccumulator returns an empty exact accumulator backed by the dense
+// superaccumulator engine.
 func NewAccumulator() *Accumulator {
-	return &Accumulator{d: accum.NewDense(0)}
+	return &Accumulator{a: engine.MustGet(core.EngineDense).NewAccumulator()}
+}
+
+// NewAccumulatorEngine returns an empty accumulator backed by the named
+// engine. It errors when the engine is unknown or not streaming (see
+// Engines()).
+func NewAccumulatorEngine(name string) (*Accumulator, error) {
+	e, ok := engine.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("parsum: unknown engine %q (registered: %v)", name, engine.Names())
+	}
+	acc := e.NewAccumulator()
+	if acc == nil {
+		return nil, fmt.Errorf("parsum: engine %q does not support streaming accumulation", name)
+	}
+	return &Accumulator{a: acc}, nil
 }
 
 // Add accumulates x exactly.
-func (a *Accumulator) Add(x float64) { a.d.Add(x) }
+func (a *Accumulator) Add(x float64) { a.a.Add(x) }
 
 // AddSlice accumulates every element of xs exactly.
-func (a *Accumulator) AddSlice(xs []float64) { a.d.AddSlice(xs) }
+func (a *Accumulator) AddSlice(xs []float64) { a.a.AddSlice(xs) }
 
-// Merge adds the exact contents of o into a; o is unchanged. Accumulators
-// built from disjoint data merge to exactly the accumulator of the
-// combined data, in any order.
-func (a *Accumulator) Merge(o *Accumulator) { a.d.Merge(o.d.Clone()) }
+// Merge adds the exact contents of o into a; o's value is unchanged.
+// Accumulators built from disjoint data merge to exactly the accumulator
+// of the combined data, in any order. Both sides must come from the same
+// engine; mixing engines panics.
+func (a *Accumulator) Merge(o *Accumulator) { a.a.Merge(o.a) }
 
 // Round returns the correctly rounded float64 value of the exact sum
 // accumulated so far. The accumulator remains usable.
-func (a *Accumulator) Round() float64 { return a.d.Round() }
+func (a *Accumulator) Round() float64 { return a.a.Round() }
 
 // Reset empties the accumulator.
-func (a *Accumulator) Reset() { a.d.Reset() }
+func (a *Accumulator) Reset() { a.a.Reset() }
 
 // Clone returns an independent copy.
-func (a *Accumulator) Clone() *Accumulator { return &Accumulator{d: a.d.Clone()} }
+func (a *Accumulator) Clone() *Accumulator { return &Accumulator{a: a.a.Clone()} }
 
 // MRConfig configures MapReduceSum; see the mapreduce package for field
 // documentation. The zero value models a single-worker cluster.
@@ -127,5 +202,13 @@ func MapReduceSum(xs []float64, cfg MRConfig) MRResult { return mapreduce.Run(xs
 func Sum32(xs []float32) float32 { return core.Sum32(xs) }
 
 // Round32 returns the correctly rounded float32 value of the exact sum
-// accumulated so far (one rounding, directly to binary32).
-func (a *Accumulator) Round32() float32 { return a.d.Round32() }
+// accumulated so far (one rounding, directly to binary32) for engines
+// whose accumulators can round to binary32 natively — the default dense
+// engine among them. Other engines round to float64 first and convert,
+// which can double-round near binary32 rounding boundaries.
+func (a *Accumulator) Round32() float32 {
+	if r, ok := a.a.(engine.Rounder32); ok {
+		return r.Round32()
+	}
+	return float32(a.a.Round())
+}

@@ -65,6 +65,97 @@ func TestAccumulatorLifecycle(t *testing.T) {
 	}
 }
 
+func TestEnginesListing(t *testing.T) {
+	infos := parsum.Engines()
+	if len(infos) < 5 {
+		t.Fatalf("Engines() lists %d engines, want >= 5", len(infos))
+	}
+	byName := map[string]parsum.EngineInfo{}
+	for i, e := range infos {
+		if i > 0 && infos[i-1].Name >= e.Name {
+			t.Fatalf("Engines() not sorted at %q", e.Name)
+		}
+		if e.Doc == "" {
+			t.Fatalf("engine %q has no doc line", e.Name)
+		}
+		byName[e.Name] = e
+	}
+	for _, name := range []string{"dense", "sparse", "adaptive", "ifastsum", "small", "large", "naive"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("engine %q missing from Engines()", name)
+		}
+	}
+	if d := byName["dense"]; !d.Exact || !d.CorrectlyRounded || !d.DeterministicParallel || !d.Streaming {
+		t.Fatalf("dense caps wrong: %+v", d)
+	}
+	if n := byName["naive"]; n.Exact || n.Faithful {
+		t.Fatalf("naive caps wrong: %+v", n)
+	}
+	if a := byName["adaptive"]; !a.Faithful || a.CorrectlyRounded {
+		t.Fatalf("adaptive caps wrong: %+v", a)
+	}
+}
+
+func TestOptionsEngineSelection(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.SumZero, N: 20000, Delta: 1200, Seed: 6}).Slice()
+	want := oracle.Sum(xs)
+	for _, e := range parsum.Engines() {
+		if !e.CorrectlyRounded {
+			continue
+		}
+		got := parsum.SumParallel(xs, parsum.Options{Engine: e.Name, Workers: 4, ChunkSize: 512})
+		if got != want {
+			t.Fatalf("engine %q: SumParallel=%g oracle=%g", e.Name, got, want)
+		}
+		if got := parsum.SumEngine(e.Name, xs); got != want {
+			t.Fatalf("engine %q: SumEngine=%g oracle=%g", e.Name, got, want)
+		}
+	}
+}
+
+func TestNewAccumulatorEngine(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 4000, Delta: 900, Seed: 7}).Slice()
+	want := oracle.Sum(xs)
+	for _, e := range parsum.Engines() {
+		if !e.Streaming {
+			continue
+		}
+		acc, err := parsum.NewAccumulatorEngine(e.Name)
+		if err != nil {
+			t.Fatalf("engine %q: %v", e.Name, err)
+		}
+		acc.AddSlice(xs[:1000])
+		other, _ := parsum.NewAccumulatorEngine(e.Name)
+		other.AddSlice(xs[1000:])
+		acc.Merge(other)
+		if got := acc.Round(); got != want {
+			t.Fatalf("engine %q: streamed sum %g, oracle %g", e.Name, got, want)
+		}
+	}
+	if _, err := parsum.NewAccumulatorEngine("no-such-engine"); err == nil {
+		t.Fatal("unknown engine: expected error")
+	}
+	if _, err := parsum.NewAccumulatorEngine("ifastsum"); err == nil {
+		t.Fatal("non-streaming engine: expected error")
+	}
+}
+
+func TestAccumulatorRound32(t *testing.T) {
+	// 1 + 2^-25 rounds to 1f in a single binary32 rounding; summing to
+	// float64 first then converting would keep the exact value and also
+	// land on 1f — use a sum that straddles a binary32 boundary instead:
+	// 1 + 2^-24 + 2^-50 must round UP to the next float32 (sticky bit),
+	// while float32(float64 value) double-rounds to even and stays at 1.
+	a := parsum.NewAccumulator()
+	for _, x := range []float64{1, 0x1p-24, 0x1p-50} {
+		a.Add(x)
+	}
+	want := float32(1) + float32(0x1p-23)
+	if got := a.Round32(); got != want {
+		t.Fatalf("Round32 = %x, want %x (no double rounding)", got, want)
+	}
+}
+
 func TestPublicDocExamples(t *testing.T) {
 	// The classic motivating example: naive summation loses the 1.
 	xs := []float64{1e100, 1, -1e100}
