@@ -1,0 +1,75 @@
+// Command benchgate is the CI bench-regression gate: it compares a fresh
+// parallel-benchmark snapshot (sumbench -figure parallel -jsonout ...)
+// against the recorded baseline BENCH_parallel.json and exits non-zero
+// when any guarded engine's best throughput regressed beyond the
+// tolerance.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_parallel.json -candidate bench_new.json \
+//	          -engines dense -tolerance 0.30
+//
+// Exit status: 0 all engines within tolerance, 1 regression detected,
+// 2 usage or input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parsum/internal/bench"
+)
+
+func main() {
+	var (
+		baselinePath  = flag.String("baseline", "BENCH_parallel.json", "recorded baseline snapshot")
+		candidatePath = flag.String("candidate", "", "candidate snapshot to gate (required)")
+		engines       = flag.String("engines", "dense", "comma-separated engines to guard")
+		tolerance     = flag.Float64("tolerance", 0.30, "allowed fractional throughput regression in [0,1)")
+	)
+	flag.Parse()
+
+	if *candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := bench.LoadParallelSnapshot(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	candidate, err := bench.LoadParallelSnapshot(*candidatePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for _, e := range strings.Split(*engines, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			names = append(names, e)
+		}
+	}
+	results, err := bench.Gate(baseline, candidate, names, *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("bench-regression gate: tolerance %.0f%%, baseline n=%d (GOMAXPROCS=%d), candidate n=%d (GOMAXPROCS=%d)\n",
+		*tolerance*100, baseline.N, baseline.GoMaxProcs, candidate.N, candidate.GoMaxProcs)
+	failed := false
+	for _, r := range results {
+		fmt.Println(r)
+		if !r.Pass {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: throughput regression beyond tolerance")
+		os.Exit(1)
+	}
+}

@@ -8,10 +8,13 @@
 //	sumbench -figure all -quick
 //	sumbench -figure engines                  # list the engine registry
 //	sumbench -figure parallel -jsonout BENCH_parallel.json
+//	sumbench -figure ingest -workerlist 1,2,4,8 -batches 1,64,4096
 //
 // Figures: f1 f2 f3 pram cond em carry radix sigma combiner seq parallel
-// engines all. The seq and parallel figures enumerate the summation-engine
-// registry, so newly registered engines appear without harness changes.
+// ingest engines all. The seq, parallel, and ingest figures enumerate the
+// summation-engine registry, so newly registered engines appear without
+// harness changes. Unknown -figure or -engines names exit with status 2
+// and print the valid names.
 package main
 
 import (
@@ -25,9 +28,16 @@ import (
 	"parsum/internal/engine"
 )
 
+// validFigures lists every -figure value, in the order "all" runs them
+// (engines, the registry listing, is skipped by "all").
+var validFigures = []string{
+	"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma",
+	"combiner", "seq", "parallel", "ingest", "engines",
+}
+
 func main() {
 	var (
-		figure    = flag.String("figure", "all", "which experiment to run: f1 f2 f3 pram cond em carry radix sigma combiner seq parallel engines all")
+		figure    = flag.String("figure", "all", "which experiment to run: "+strings.Join(validFigures, " ")+" all")
 		sizes     = flag.String("sizes", "1000000,10000000,100000000", "comma-separated input sizes for figure 1")
 		n         = flag.Int64("n", 10_000_000, "input size for figures 2 and 3")
 		delta     = flag.Int("delta", 2000, "exponent-range parameter δ for figures 1 and 3")
@@ -37,9 +47,10 @@ func main() {
 		split     = flag.Int("split", 1<<20, "elements per input split")
 		seed      = flag.Uint64("seed", 1, "dataset seed")
 		quick     = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
-		engines   = flag.String("engines", "dense,sparse,small,large", "engines for the parallel figure")
-		reps      = flag.Int("reps", 3, "repetitions per parallel cell (best-of)")
-		jsonOut   = flag.String("jsonout", "", "write the parallel figure's snapshot as JSON to this file")
+		engines   = flag.String("engines", "dense,sparse,small,large", "engines for the parallel and ingest figures")
+		batches   = flag.String("batches", "1,64,4096", "batch-size sweep for the ingest figure")
+		reps      = flag.Int("reps", 3, "repetitions per parallel/ingest cell (best-of)")
+		jsonOut   = flag.String("jsonout", "", "write the parallel or ingest figure's snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +73,35 @@ func main() {
 		for _, t := range ts {
 			fmt.Println(t.Format())
 		}
+	}
+	// checkEngines resolves the -engines flag, exiting with the registry's
+	// valid names on an unknown engine. When needSharded is set it also
+	// requires the capabilities the sharded ingestion layer needs.
+	checkEngines := func(needSharded bool) []string {
+		names := splitNames(*engines)
+		for _, nm := range names {
+			e, ok := engine.Get(nm)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown engine %q (known: %s)\n", nm, strings.Join(engine.Names(), ", "))
+				os.Exit(2)
+			}
+			if caps := e.Caps(); needSharded && (!caps.Streaming || !caps.DeterministicParallel) {
+				fmt.Fprintf(os.Stderr, "engine %q cannot back sharded ingestion (needs Streaming and DeterministicParallel)\n", nm)
+				os.Exit(2)
+			}
+		}
+		return names
+	}
+	writeJSON := func(data []byte, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot written to %s\n", *jsonOut)
 	}
 	run := func(name string) {
 		switch name {
@@ -104,36 +144,42 @@ func main() {
 			if *quick {
 				sz = 1_000_000
 			}
-			names := splitNames(*engines)
-			for _, nm := range names {
-				if _, ok := engine.Get(nm); !ok {
-					fmt.Fprintf(os.Stderr, "unknown engine %q (known: %s)\n", nm, strings.Join(engine.Names(), ", "))
-					os.Exit(2)
-				}
-			}
-			snap := bench.ParallelBench(sz, *delta, wl, names, *reps)
+			snap := bench.ParallelBench(sz, *delta, wl, checkEngines(false), *reps)
 			show(snap.Table())
 			if *jsonOut != "" {
 				data, err := snap.JSON()
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "encoding snapshot: %v\n", err)
-					os.Exit(1)
+				writeJSON(data, err)
+			}
+		case "ingest":
+			sz := nn
+			if *quick {
+				sz = 1_000_000
+			}
+			bs := parseInts(*batches)
+			for _, v := range append(append([]int{}, wl...), bs...) {
+				if v < 1 {
+					fmt.Fprintf(os.Stderr, "ingest writer counts and batch sizes must be >= 1 (got %d)\n", v)
+					os.Exit(2)
 				}
-				if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
-					os.Exit(1)
-				}
-				fmt.Printf("snapshot written to %s\n", *jsonOut)
+			}
+			snap := bench.IngestBench(sz, *delta, wl, bs, checkEngines(true), *reps)
+			show(snap.Table())
+			if *jsonOut != "" {
+				data, err := snap.JSON()
+				writeJSON(data, err)
 			}
 		case "engines":
 			listEngines()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			fmt.Fprintf(os.Stderr, "unknown figure %q (valid: %s, all)\n", name, strings.Join(validFigures, ", "))
 			os.Exit(2)
 		}
 	}
 	if *figure == "all" {
-		for _, f := range []string{"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma", "combiner", "seq", "parallel"} {
+		for _, f := range validFigures {
+			if f == "engines" {
+				continue // the registry listing is not an experiment
+			}
 			run(f)
 		}
 		return

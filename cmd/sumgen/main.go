@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -31,49 +32,73 @@ func main() {
 	)
 	flag.Parse()
 
-	var d gen.Dist
-	switch strings.ToLower(*dist) {
-	case "condone", "c1", "positive":
-		d = gen.CondOne
-	case "random", "mixed":
-		d = gen.Random
-	case "anderson":
-		d = gen.Anderson
-	case "sumzero", "zero":
-		d = gen.SumZero
-	default:
-		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *dist)
+	d, ok := parseDist(*dist)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown distribution %q (valid: condone, random, anderson, sumzero)\n", *dist)
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "bin" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (valid: text, bin)\n", *format)
 		os.Exit(2)
 	}
 
-	src := gen.New(gen.Config{Dist: d, N: *n, Delta: *delta, Seed: *seed})
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer w.Flush()
+	src := gen.New(gen.Config{Dist: d, N: *n, Delta: *delta, Seed: *seed})
+	if err := emit(w, src, *format); err != nil {
+		fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+}
 
+// parseDist resolves a distribution name (with the historical aliases) to
+// its gen.Dist.
+func parseDist(name string) (gen.Dist, bool) {
+	switch strings.ToLower(name) {
+	case "condone", "c1", "positive":
+		return gen.CondOne, true
+	case "random", "mixed":
+		return gen.Random, true
+	case "anderson":
+		return gen.Anderson, true
+	case "sumzero", "zero":
+		return gen.SumZero, true
+	}
+	return 0, false
+}
+
+// emit streams the whole dataset to w in the given format ("text" decimal
+// lines or "bin" raw little-endian float64), generating in fixed-size
+// chunks so memory stays flat for any n.
+func emit(w io.Writer, src *gen.Source, format string) error {
+	n := src.Config().N
 	buf := make([]float64, 1<<16)
 	var le [8]byte
-	for off := int64(0); off < *n; off += int64(len(buf)) {
+	nl := []byte{'\n'} // hoisted: a per-line []byte literal would escape through the interface
+	for off := int64(0); off < n; off += int64(len(buf)) {
 		chunk := buf
-		if rem := *n - off; rem < int64(len(buf)) {
+		if rem := n - off; rem < int64(len(buf)) {
 			chunk = buf[:rem]
 		}
 		src.Fill(chunk, off)
 		for _, x := range chunk {
-			if *format == "bin" {
+			if format == "bin" {
 				binary.LittleEndian.PutUint64(le[:], math.Float64bits(x))
 				if _, err := w.Write(le[:]); err != nil {
-					fail(err)
+					return err
 				}
 			} else {
-				if _, err := w.WriteString(strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
-					fail(err)
+				if _, err := io.WriteString(w, strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
+					return err
 				}
-				if err := w.WriteByte('\n'); err != nil {
-					fail(err)
+				if _, err := w.Write(nl); err != nil {
+					return err
 				}
 			}
 		}
 	}
+	return nil
 }
 
 func fail(err error) {

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strconv"
+	"testing"
+
+	"parsum/internal/gen"
+)
+
+func TestParseDist(t *testing.T) {
+	cases := map[string]gen.Dist{
+		"condone": gen.CondOne, "c1": gen.CondOne, "positive": gen.CondOne,
+		"random": gen.Random, "mixed": gen.Random, "RANDOM": gen.Random,
+		"anderson": gen.Anderson, "Anderson": gen.Anderson,
+		"sumzero": gen.SumZero, "zero": gen.SumZero,
+	}
+	for name, want := range cases {
+		got, ok := parseDist(name)
+		if !ok || got != want {
+			t.Errorf("parseDist(%q) = %v, %v; want %v, true", name, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "gaussian", "rand om"} {
+		if _, ok := parseDist(bad); ok {
+			t.Errorf("parseDist(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEmitTextRoundTrips: the text output must parse back to the exact
+// bits the generator produced — FormatFloat 'g'/-1 is the shortest
+// round-trippable form.
+func TestEmitTextRoundTrips(t *testing.T) {
+	for _, d := range gen.AllDists {
+		src := gen.New(gen.Config{Dist: d, N: 500, Delta: 300, Seed: 9})
+		var buf bytes.Buffer
+		if err := emit(&buf, src, "text"); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(&buf)
+		var i int64
+		for ; sc.Scan(); i++ {
+			v, err := strconv.ParseFloat(sc.Text(), 64)
+			if err != nil {
+				t.Fatalf("%v line %d: %v", d, i, err)
+			}
+			if want := src.At(i); math.Float64bits(v) != math.Float64bits(want) {
+				t.Fatalf("%v line %d: parsed %g, generated %g", d, i, v, want)
+			}
+		}
+		if i != 500 {
+			t.Fatalf("%v: emitted %d lines, want 500", d, i)
+		}
+	}
+}
+
+// TestEmitBinRoundTrips: binary output is exactly 8·n bytes of
+// little-endian float64 bits.
+func TestEmitBinRoundTrips(t *testing.T) {
+	src := gen.New(gen.Config{Dist: gen.Random, N: 777, Delta: 500, Seed: 4})
+	var buf bytes.Buffer
+	if err := emit(&buf, src, "bin"); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 777*8 {
+		t.Fatalf("binary output %d bytes, want %d", len(b), 777*8)
+	}
+	for i := int64(0); i < 777; i++ {
+		got := binary.LittleEndian.Uint64(b[i*8:])
+		if want := math.Float64bits(src.At(i)); got != want {
+			t.Fatalf("value %d: bits %x, want %x", i, got, want)
+		}
+	}
+}
+
+// TestEmitChunkBoundaries: datasets larger than the internal chunk buffer
+// must stream seamlessly across chunk boundaries (Fill is offset-
+// addressable, so boundaries cannot show in the output).
+func TestEmitChunkBoundaries(t *testing.T) {
+	const n = (1 << 16) + 37 // one full chunk plus a partial one
+	src := gen.New(gen.Config{Dist: gen.SumZero, N: n, Delta: 100, Seed: 2})
+	var buf bytes.Buffer
+	if err := emit(&buf, src, "bin"); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != n*8 {
+		t.Fatalf("emitted %d bytes, want %d", got, n*8)
+	}
+	for _, i := range []int64{0, (1 << 16) - 1, 1 << 16, n - 1} {
+		got := binary.LittleEndian.Uint64(buf.Bytes()[i*8:])
+		if want := math.Float64bits(src.At(i)); got != want {
+			t.Fatalf("boundary value %d: bits %x, want %x", i, got, want)
+		}
+	}
+}
+
+func TestEmitEmptyDataset(t *testing.T) {
+	src := gen.New(gen.Config{Dist: gen.CondOne, N: 0, Delta: 100, Seed: 1})
+	var buf bytes.Buffer
+	if err := emit(&buf, src, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty dataset emitted %q", buf.String())
+	}
+}
+
+// errWriter fails after a fixed number of bytes, so emit's error paths
+// (both the payload write and the newline write) are exercised.
+type errWriter struct{ room int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.room {
+		n := w.room
+		w.room = 0
+		return n, errors.New("writer full")
+	}
+	w.room -= len(p)
+	return len(p), nil
+}
+
+func TestEmitPropagatesWriteErrors(t *testing.T) {
+	src := gen.New(gen.Config{Dist: gen.Random, N: 100, Delta: 50, Seed: 3})
+	for _, format := range []string{"text", "bin"} {
+		for _, room := range []int{0, 5, 21} {
+			if err := emit(&errWriter{room: room}, src, format); err == nil {
+				t.Errorf("format=%s room=%d: write error swallowed", format, room)
+			}
+		}
+	}
+}

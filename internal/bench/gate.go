@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// GateResult is the per-engine verdict of the bench-regression gate: the
+// best throughput either snapshot recorded for the engine, their ratio,
+// and whether the candidate stays within tolerance of the baseline.
+type GateResult struct {
+	Engine        string
+	BaselineMops  float64 // best Mops/s across the baseline's worker counts
+	CandidateMops float64
+	Ratio         float64 // candidate / baseline
+	Pass          bool
+}
+
+func (r GateResult) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-4s %-10s baseline %8.1f Mops/s  candidate %8.1f Mops/s  ratio %.2f",
+		verdict, r.Engine, r.BaselineMops, r.CandidateMops, r.Ratio)
+}
+
+// bestMops returns the engine's best Mops/s across a snapshot's points,
+// or false when the engine was not measured.
+func bestMops(s ParallelSnapshot, engine string) (float64, bool) {
+	best, found := 0.0, false
+	for _, p := range s.Points {
+		if p.Engine == engine && p.MopsPerS > best {
+			best, found = p.MopsPerS, true
+		}
+	}
+	return best, found
+}
+
+// Gate compares a candidate parallel-benchmark snapshot against the
+// recorded baseline for the named engines: for each engine it takes the
+// best Mops/s across worker counts on both sides (best-across-workers
+// cancels the single- vs multi-core difference between CI shapes better
+// than matching worker counts cell-by-cell) and fails the engine when the
+// candidate falls below (1−tolerance)× the baseline. An engine missing
+// from either snapshot is an error — a gate that silently skips what it
+// was asked to guard is worse than one that fails.
+func Gate(baseline, candidate ParallelSnapshot, engines []string, tolerance float64) ([]GateResult, error) {
+	if tolerance < 0 || tolerance >= 1 {
+		return nil, fmt.Errorf("bench: gate tolerance %g outside [0, 1)", tolerance)
+	}
+	var out []GateResult
+	for _, e := range engines {
+		b, ok := bestMops(baseline, e)
+		if !ok {
+			return nil, fmt.Errorf("bench: engine %q not in baseline snapshot (has: %s)", e, strings.Join(snapshotEngines(baseline), ", "))
+		}
+		c, ok := bestMops(candidate, e)
+		if !ok {
+			return nil, fmt.Errorf("bench: engine %q not in candidate snapshot (has: %s)", e, strings.Join(snapshotEngines(candidate), ", "))
+		}
+		r := GateResult{Engine: e, BaselineMops: b, CandidateMops: c, Ratio: c / b}
+		r.Pass = c >= (1-tolerance)*b
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// snapshotEngines lists the distinct engines a snapshot measured, in
+// first-appearance order.
+func snapshotEngines(s ParallelSnapshot) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range s.Points {
+		if !seen[p.Engine] {
+			seen[p.Engine] = true
+			out = append(out, p.Engine)
+		}
+	}
+	return out
+}
+
+// LoadParallelSnapshot reads a ParallelSnapshot JSON file (as written by
+// `sumbench -figure parallel -jsonout`).
+func LoadParallelSnapshot(path string) (ParallelSnapshot, error) {
+	var s ParallelSnapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if len(s.Points) == 0 {
+		return s, fmt.Errorf("bench: %s contains no benchmark points", path)
+	}
+	return s, nil
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snap(points ...ParallelPoint) ParallelSnapshot {
+	return ParallelSnapshot{N: 1000, Reps: 1, Points: points}
+}
+
+func pt(engine string, workers int, mops float64) ParallelPoint {
+	return ParallelPoint{Engine: engine, Workers: workers, MopsPerS: mops}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	baseline := snap(pt("dense", 1, 30), pt("dense", 4, 40), pt("sparse", 1, 10))
+
+	// Within tolerance: 30 ≥ 0.7 × 40.
+	res, err := Gate(baseline, snap(pt("dense", 1, 30)), []string{"dense"}, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || !res[0].Pass {
+		t.Fatalf("expected pass, got %+v", res)
+	}
+
+	// Regression beyond tolerance: 20 < 0.7 × 40.
+	res, err = Gate(baseline, snap(pt("dense", 2, 20)), []string{"dense"}, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Pass {
+		t.Fatalf("expected fail, got %+v", res[0])
+	}
+
+	// Best-across-workers on the candidate side: a slow 1-worker cell is
+	// fine when another cell holds the line.
+	res, err = Gate(baseline, snap(pt("dense", 1, 5), pt("dense", 4, 39)), []string{"dense"}, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Pass {
+		t.Fatalf("expected best-across-workers pass, got %+v", res[0])
+	}
+
+	// Improvements obviously pass.
+	res, _ = Gate(baseline, snap(pt("sparse", 1, 50)), []string{"sparse"}, 0.30)
+	if !res[0].Pass || res[0].Ratio < 4.9 {
+		t.Fatalf("improvement mishandled: %+v", res[0])
+	}
+}
+
+func TestGateErrors(t *testing.T) {
+	baseline := snap(pt("dense", 1, 30))
+	if _, err := Gate(baseline, snap(pt("dense", 1, 30)), []string{"sparse"}, 0.3); err == nil {
+		t.Error("missing baseline engine not rejected")
+	}
+	if _, err := Gate(baseline, snap(pt("sparse", 1, 30)), []string{"dense"}, 0.3); err == nil {
+		t.Error("missing candidate engine not rejected")
+	}
+	if _, err := Gate(baseline, snap(pt("dense", 1, 30)), []string{"dense"}, 1.5); err == nil {
+		t.Error("tolerance ≥ 1 not rejected")
+	}
+	if _, err := Gate(baseline, snap(pt("dense", 1, 30)), []string{"dense"}, -0.1); err == nil {
+		t.Error("negative tolerance not rejected")
+	}
+}
+
+func TestLoadParallelSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	data, err := snap(pt("dense", 1, 30)).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadParallelSnapshot(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 1 || s.Points[0].Engine != "dense" {
+		t.Fatalf("round-trip lost data: %+v", s)
+	}
+
+	if _, err := LoadParallelSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file not rejected")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := LoadParallelSnapshot(bad); err == nil {
+		t.Error("malformed JSON not rejected")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"points":[]}`), 0o644)
+	if _, err := LoadParallelSnapshot(empty); err == nil {
+		t.Error("empty snapshot not rejected")
+	}
+}
+
+// TestLoadRecordedBaseline pins that the checked-in BENCH_parallel.json
+// stays loadable and contains the dense engine the CI gate guards.
+func TestLoadRecordedBaseline(t *testing.T) {
+	s, err := LoadParallelSnapshot("../../BENCH_parallel.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bestMops(s, "dense"); !ok {
+		t.Fatal("BENCH_parallel.json has no dense-engine points")
+	}
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsum/internal/engine"
+	"parsum/internal/gen"
+	"parsum/internal/shard"
+)
+
+// IngestPoint is one measured cell of the concurrent-ingestion benchmark:
+// an engine at a writer count and batch size, ingesting through a Sharded
+// accumulator with one shard per writer.
+type IngestPoint struct {
+	Engine   string  `json:"engine"`
+	Writers  int     `json:"writers"`
+	Batch    int     `json:"batch"`
+	NsPerOp  int64   `json:"ns_per_op"` // full ingestion + final Sum
+	MopsPerS float64 `json:"mops_per_s"`
+	Speedup  float64 `json:"speedup_vs_base"` // vs the same engine/batch at its lowest writer count
+}
+
+// IngestSnapshot is the recorded result of IngestBench, written by
+// `sumbench -figure ingest -jsonout` the way ParallelSnapshot is for the
+// parallel figure.
+type IngestSnapshot struct {
+	N          int64         `json:"n"`
+	Delta      int           `json:"delta"`
+	Dist       string        `json:"dist"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Reps       int           `json:"reps"`
+	Points     []IngestPoint `json:"points"`
+}
+
+// IngestBench measures sharded concurrent ingestion throughput for the
+// named engines across writer counts × batch sizes: writers pull batches
+// off a shared cursor and AddBatch them into a shard.Sharded (one shard
+// per writer), then one Sum() closes the cell. Every cell's result is
+// checked bit-identical against the engine's sequential one-shot sum —
+// a throughput number for a wrong sum would be meaningless — and a
+// mismatch panics. Engines must be registered and capable of backing a
+// Sharded (Streaming + DeterministicParallel); IngestBench panics
+// otherwise, mirroring ParallelBench's fail-loudly-before-timing policy.
+func IngestBench(n int64, delta int, writerList, batchSizes []int, engines []string, reps int) IngestSnapshot {
+	if reps < 1 {
+		reps = 1
+	}
+	for _, w := range writerList {
+		if w < 1 {
+			panic(fmt.Sprintf("bench: ingest writer count %d < 1", w))
+		}
+	}
+	for _, b := range batchSizes {
+		if b < 1 {
+			panic(fmt.Sprintf("bench: ingest batch size %d < 1", b))
+		}
+	}
+	snap := IngestSnapshot{
+		N:          n,
+		Delta:      delta,
+		Dist:       gen.Random.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	xs := gen.New(gen.Config{Dist: gen.Random, N: n, Delta: delta, Seed: 23}).Slice()
+	for _, name := range engines {
+		want := engine.MustGet(name).Sum(xs)
+		var points []IngestPoint
+		for _, batch := range batchSizes {
+			for _, w := range writerList {
+				best := time.Duration(1<<63 - 1)
+				for r := 0; r < reps; r++ {
+					d, got := ingestOnce(xs, name, w, batch)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						panic(fmt.Sprintf("bench: ingest %s writers=%d batch=%d: sum %g != sequential %g",
+							name, w, batch, got, want))
+					}
+					if d < best {
+						best = d
+					}
+				}
+				points = append(points, IngestPoint{
+					Engine:   name,
+					Writers:  w,
+					Batch:    batch,
+					NsPerOp:  best.Nanoseconds(),
+					MopsPerS: float64(n) / best.Seconds() / 1e6,
+				})
+			}
+		}
+		// Speedup baseline: per engine × batch, the lowest measured writer
+		// count (matching ParallelBench's per-engine convention).
+		for batchStart := 0; batchStart < len(points); batchStart += len(writerList) {
+			group := points[batchStart : batchStart+len(writerList)]
+			base, baseW := int64(0), 0
+			for _, p := range group {
+				if base == 0 || p.Writers < baseW {
+					base, baseW = p.NsPerOp, p.Writers
+				}
+			}
+			for i := range group {
+				group[i].Speedup = float64(base) / float64(group[i].NsPerOp)
+			}
+		}
+		snap.Points = append(snap.Points, points...)
+	}
+	return snap
+}
+
+// ingestOnce times one full ingestion: w writer goroutines pull
+// batch-sized ranges off a shared atomic cursor and AddBatch them into a
+// fresh Sharded with one shard per writer, then Sum() folds and rounds.
+func ingestOnce(xs []float64, engineName string, writers, batch int) (time.Duration, float64) {
+	s, err := shard.New(shard.Options{Engine: engineName, Shards: writers})
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wr := s.Writer()
+			for {
+				lo := int(next.Add(int64(batch))) - batch
+				if lo >= len(xs) {
+					return
+				}
+				hi := min(lo+batch, len(xs))
+				wr.AddBatch(xs[lo:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	got := s.Sum()
+	return time.Since(start), got
+}
+
+// Table renders the snapshot as one experiment table.
+func (s IngestSnapshot) Table() Table {
+	t := Table{
+		Title:  fmt.Sprintf("T-INGEST — sharded concurrent ingestion (n=%d, δ=%d, GOMAXPROCS=%d, best of %d)", s.N, s.Delta, s.GoMaxProcs, s.Reps),
+		XLabel: "engine/writers/batch",
+		Series: []string{"time", "Mops/s", "speedup"},
+	}
+	for _, p := range s.Points {
+		t.Rows = append(t.Rows, Row{
+			X: fmt.Sprintf("%s/%d/%d", p.Engine, p.Writers, p.Batch),
+			Values: map[string]string{
+				"time":    secs(time.Duration(p.NsPerOp)),
+				"Mops/s":  fmt.Sprintf("%.1f", p.MopsPerS),
+				"speedup": fmt.Sprintf("%.2fx", p.Speedup),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		"one shard per writer; every cell's sum verified bit-identical to the sequential engine")
+	return t
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s IngestSnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -96,11 +96,14 @@ func fanOut[T any](xs []float64, p, chunk int, worker func(cur *chunkCursor) T) 
 	return parts
 }
 
-// mergeTree reduces partials in ⌈log2 p⌉ parallel levels (replacing the
+// MergeTree reduces partials in ⌈log2 p⌉ parallel levels (replacing the
 // linear merge chain): level k combines parts[i] with parts[i+half] for
 // all i concurrently. merge must be safe to run on disjoint pairs in
-// parallel and may consume its second argument.
-func mergeTree[T any](parts []T, merge func(dst, src T) T) T {
+// parallel and may consume its second argument. Exported so other layers
+// that hold exact partials (the sharded ingestion layer in
+// internal/shard) combine them through the same log-depth Lemma 1 tree.
+// parts must be non-empty; the slice is clobbered.
+func MergeTree[T any](parts []T, merge func(dst, src T) T) T {
 	for len(parts) > 1 {
 		half := (len(parts) + 1) / 2
 		var wg sync.WaitGroup
@@ -135,7 +138,7 @@ func parallelDense(xs []float64, p, chunk int, width uint) float64 {
 		d.Regularize()
 		return d
 	})
-	root := mergeTree(parts, func(dst, src *accum.Dense) *accum.Dense {
+	root := MergeTree(parts, func(dst, src *accum.Dense) *accum.Dense {
 		dst.AddRegularized(src)
 		putDense(src)
 		return dst
@@ -159,7 +162,7 @@ func parallelSparse(xs []float64, p, chunk int, width uint) float64 {
 		}
 		return a.ToSparse()
 	})
-	return mergeTree(parts, accum.MergeSparse).Round()
+	return MergeTree(parts, accum.MergeSparse).Round()
 }
 
 // parallelEngine is the generic parallel path for any registered engine
@@ -178,7 +181,7 @@ func parallelEngine(xs []float64, e engine.Engine, p, chunk int) float64 {
 		}
 		return a
 	})
-	return mergeTree(parts, func(dst, src engine.Accumulator) engine.Accumulator {
+	return MergeTree(parts, func(dst, src engine.Accumulator) engine.Accumulator {
 		dst.Merge(src)
 		return dst
 	}).Round()

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"parsum/internal/accum"
@@ -217,6 +218,80 @@ func TestConditionAgainstOracle(t *testing.T) {
 		}
 		if rel := math.Abs(got-want) / want; rel > 1e-12 {
 			t.Fatalf("%v: cond=%g oracle=%g (rel %g)", d, got, want, rel)
+		}
+	}
+}
+
+// TestConcurrentFillSafe: Source promises safety for concurrent use;
+// Anderson is the interesting case because its mean resolves lazily
+// through a sync.Once on first use. Run under -race in CI.
+func TestConcurrentFillSafe(t *testing.T) {
+	for _, d := range AllDists {
+		s := New(Config{Dist: d, N: 4096, Delta: 400, Seed: 8})
+		want := s.At(0) // also resolves the Anderson mean up front on one path
+		var wg sync.WaitGroup
+		chunks := make([][]float64, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				chunks[w] = make([]float64, 512)
+				s.Fill(chunks[w], int64(w)*512)
+			}(w)
+		}
+		wg.Wait()
+		if chunks[0][0] != want {
+			t.Fatalf("%v: concurrent Fill diverged at 0", d)
+		}
+		for w, c := range chunks {
+			for j, x := range c {
+				if got := s.At(int64(w)*512 + int64(j)); got != x {
+					t.Fatalf("%v: concurrent Fill diverged at %d", d, w*512+j)
+				}
+			}
+		}
+	}
+}
+
+// TestAdversarialTinyConfigs: degenerate sizes must not panic and must
+// keep each distribution's defining property.
+func TestAdversarialTinyConfigs(t *testing.T) {
+	for _, d := range AllDists {
+		for _, n := range []int64{0, 1, 2, 3} {
+			s := New(Config{Dist: d, N: n, Delta: 1, Seed: 1})
+			xs := s.Slice()
+			if int64(len(xs)) != n {
+				t.Fatalf("%v n=%d: got %d values", d, n, len(xs))
+			}
+			for i, x := range xs {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("%v n=%d: x[%d]=%g", d, n, i, x)
+				}
+			}
+		}
+	}
+	// SumZero's defining property at the smallest sizes: odd N pads with a
+	// zero, so every N still sums to exactly zero.
+	for _, n := range []int64{1, 2, 3} {
+		xs := New(Config{Dist: SumZero, N: n, Delta: 1, Seed: 1}).Slice()
+		w := accum.NewWindow(0)
+		w.AddSlice(xs)
+		if got := w.Round(); got != 0 {
+			t.Fatalf("SumZero n=%d: sum=%g", n, got)
+		}
+	}
+}
+
+// TestFullDeltaAgainstOracle pins the adversarial full-exponent-range
+// configuration (δ at the clamp) for every distribution against the
+// math/big oracle — the harshest inputs the benchmark harness generates.
+func TestFullDeltaAgainstOracle(t *testing.T) {
+	for _, d := range AllDists {
+		xs := New(Config{Dist: d, N: 2000, Delta: 5000, Seed: 31}).Slice()
+		w := accum.NewWindow(0)
+		w.AddSlice(xs)
+		if got, want := w.Round(), oracle.Sum(xs); got != want {
+			t.Fatalf("%v at clamped δ: accumulator=%g oracle=%g", d, got, want)
 		}
 	}
 }

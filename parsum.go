@@ -43,6 +43,7 @@ import (
 	"parsum/internal/core"
 	"parsum/internal/engine"
 	"parsum/internal/mapreduce"
+	"parsum/internal/shard"
 )
 
 // Options configures the parallel and adaptive summation algorithms; the
@@ -182,6 +183,72 @@ func (a *Accumulator) Reset() { a.a.Reset() }
 
 // Clone returns an independent copy.
 func (a *Accumulator) Clone() *Accumulator { return &Accumulator{a: a.a.Clone()} }
+
+// ShardedOptions configures NewSharded; the zero value is ready to use
+// (dense engine, one shard per P). See shard.Options for field
+// documentation.
+type ShardedOptions = shard.Options
+
+// Sharded is the concurrent ingestion surface: a sharded, many-writer
+// accumulator whose Snapshot/Sum are bit-identical to summing the same
+// values sequentially, regardless of shard count, writer interleaving, or
+// snapshot timing. Writers stripe across per-shard accumulators (no
+// contention in the steady state); snapshots hand each shard a fresh
+// pooled accumulator and fold the taken partials through the log-depth
+// Lemma 1 merge tree. All methods are safe for concurrent use.
+type Sharded struct {
+	s *shard.Sharded
+}
+
+// NewSharded returns an empty sharded accumulator. It errors when
+// opt.Engine is unknown or lacks the Streaming and DeterministicParallel
+// capabilities that make sharded ingestion deterministic (see Engines()).
+func NewSharded(opt ShardedOptions) (*Sharded, error) {
+	s, err := shard.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{s: s}, nil
+}
+
+// Add accumulates x exactly.
+func (s *Sharded) Add(x float64) { s.s.Add(x) }
+
+// AddBatch accumulates every element of xs exactly, amortizing the shard
+// handoff over the batch — the high-throughput ingestion call.
+func (s *Sharded) AddBatch(xs []float64) { s.s.AddBatch(xs) }
+
+// Sum returns the correctly rounded exact sum of everything ingested so
+// far; ingestion may continue concurrently.
+func (s *Sharded) Sum() float64 { return s.s.Sum() }
+
+// Snapshot is Sum: the correctly rounded exact sum of every Add/AddBatch
+// that completed before it, obtained without stalling writers (they block
+// only for their own shard's accumulator swap).
+func (s *Sharded) Snapshot() float64 { return s.s.Snapshot() }
+
+// Reset empties the accumulator; it remains usable.
+func (s *Sharded) Reset() { s.s.Reset() }
+
+// Merge folds the exact contents of o into s; o is unchanged and remains
+// usable. Both sides must use the same engine; mixing engines panics.
+func (s *Sharded) Merge(o *Sharded) { s.s.Merge(o.s) }
+
+// Writer returns an ingestion handle pinned to one shard (assigned
+// round-robin), for dedicated long-lived writer goroutines.
+func (s *Sharded) Writer() *ShardedWriter { return &ShardedWriter{w: s.s.Writer()} }
+
+// ShardedWriter is a shard-pinned ingestion handle obtained from
+// Sharded.Writer.
+type ShardedWriter struct {
+	w *shard.Writer
+}
+
+// Add accumulates x exactly into the writer's shard.
+func (w *ShardedWriter) Add(x float64) { w.w.Add(x) }
+
+// AddBatch accumulates every element of xs exactly into the writer's shard.
+func (w *ShardedWriter) AddBatch(xs []float64) { w.w.AddBatch(xs) }
 
 // MRConfig configures MapReduceSum; see the mapreduce package for field
 // documentation. The zero value models a single-worker cluster.

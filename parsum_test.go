@@ -2,6 +2,7 @@ package parsum_test
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"parsum"
@@ -177,5 +178,59 @@ func TestPublicDocExamples(t *testing.T) {
 	}
 	if got := parsum.ConditionNumber([]float64{1, -1}); !math.IsInf(got, 1) {
 		t.Fatalf("ConditionNumber(zero sum) = %g", got)
+	}
+}
+
+func TestShardedPublicAPI(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 12000, Delta: 1200, Seed: 19}).Slice()
+	want := oracle.Sum(xs)
+
+	s, err := parsum.NewSharded(parsum.ShardedOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wr := s.Writer()
+			for i := w; i < len(xs); i += 8 {
+				if i%2 == 0 {
+					wr.Add(xs[i])
+				} else {
+					s.Add(xs[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Sum(); got != want {
+		t.Fatalf("Sharded.Sum=%g oracle=%g", got, want)
+	}
+	if got := s.Snapshot(); got != want {
+		t.Fatalf("Snapshot after Sum diverged: %g", got)
+	}
+
+	// Merge two sharded accumulators built from disjoint halves.
+	a, _ := parsum.NewSharded(parsum.ShardedOptions{Engine: "sparse"})
+	b, _ := parsum.NewSharded(parsum.ShardedOptions{Engine: "sparse"})
+	a.AddBatch(xs[:len(xs)/2])
+	b.AddBatch(xs[len(xs)/2:])
+	a.Merge(b)
+	if got := a.Sum(); got != want {
+		t.Fatalf("merged Sharded.Sum=%g oracle=%g", got, want)
+	}
+
+	a.Reset()
+	if got := a.Sum(); got != 0 {
+		t.Fatalf("Sum after Reset = %g", got)
+	}
+
+	if _, err := parsum.NewSharded(parsum.ShardedOptions{Engine: "pairwise"}); err == nil {
+		t.Fatal("NewSharded accepted a non-deterministic engine")
+	}
+	if _, err := parsum.NewSharded(parsum.ShardedOptions{Engine: "nope"}); err == nil {
+		t.Fatal("NewSharded accepted an unknown engine")
 	}
 }
