@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,28 +25,41 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: load both snapshots, gate, report.
+// It returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		baselinePath  = flag.String("baseline", "BENCH_parallel.json", "recorded baseline snapshot")
-		candidatePath = flag.String("candidate", "", "candidate snapshot to gate (required)")
-		engines       = flag.String("engines", "dense", "comma-separated engines to guard")
-		tolerance     = flag.Float64("tolerance", 0.30, "allowed fractional throughput regression in [0,1)")
+		baselinePath  = fs.String("baseline", "BENCH_parallel.json", "recorded baseline snapshot")
+		candidatePath = fs.String("candidate", "", "candidate snapshot to gate (required)")
+		engines       = fs.String("engines", "dense", "comma-separated engines to guard")
+		tolerance     = fs.Float64("tolerance", 0.30, "allowed fractional throughput regression in [0,1)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *candidatePath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchgate: -candidate is required")
+		fs.Usage()
+		return 2
 	}
 	baseline, err := bench.LoadParallelSnapshot(*baselinePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
 	}
 	candidate, err := bench.LoadParallelSnapshot(*candidatePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
 	}
 
 	var names []string
@@ -55,21 +70,22 @@ func main() {
 	}
 	results, err := bench.Gate(baseline, candidate, names, *tolerance)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
 	}
 
-	fmt.Printf("bench-regression gate: tolerance %.0f%%, baseline n=%d (GOMAXPROCS=%d), candidate n=%d (GOMAXPROCS=%d)\n",
+	fmt.Fprintf(stdout, "bench-regression gate: tolerance %.0f%%, baseline n=%d (GOMAXPROCS=%d), candidate n=%d (GOMAXPROCS=%d)\n",
 		*tolerance*100, baseline.N, baseline.GoMaxProcs, candidate.N, candidate.GoMaxProcs)
 	failed := false
 	for _, r := range results {
-		fmt.Println(r)
+		fmt.Fprintln(stdout, r)
 		if !r.Pass {
 			failed = true
 		}
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchgate: throughput regression beyond tolerance")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchgate: throughput regression beyond tolerance")
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snapshot writes a minimal ParallelSnapshot JSON with one dense point at
+// the given throughput and returns its path.
+func snapshot(t *testing.T, name string, mops float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data := fmt.Sprintf(`{"n":1000,"delta":10,"dist":"random","gomaxprocs":1,"reps":1,
+		"points":[{"engine":"dense","workers":1,"chunk":64,"ns_per_op":1000,"mops_per_s":%g,"speedup_vs_base":1}]}`, mops)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGate(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestGatePasses(t *testing.T) {
+	base := snapshot(t, "base.json", 100)
+	cand := snapshot(t, "cand.json", 95) // within 30%
+	code, out, errb := runGate(t, "-baseline", base, "-candidate", cand)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "dense") {
+		t.Fatalf("output %q missing PASS verdict", out)
+	}
+}
+
+func TestGateImprovementPasses(t *testing.T) {
+	base := snapshot(t, "base.json", 100)
+	cand := snapshot(t, "cand.json", 250)
+	if code, _, errb := runGate(t, "-baseline", base, "-candidate", cand); code != 0 {
+		t.Fatalf("improvement failed the gate: exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := snapshot(t, "base.json", 100)
+	cand := snapshot(t, "cand.json", 50) // 50% regression > 30% tolerance
+	code, out, errb := runGate(t, "-baseline", base, "-candidate", cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(errb, "regression") {
+		t.Fatalf("out %q / stderr %q missing failure report", out, errb)
+	}
+}
+
+func TestGateTightToleranceFlag(t *testing.T) {
+	base := snapshot(t, "base.json", 100)
+	cand := snapshot(t, "cand.json", 95)
+	if code, _, _ := runGate(t, "-baseline", base, "-candidate", cand, "-tolerance", "0.01"); code != 1 {
+		t.Fatalf("5%% drop passed a 1%% gate: exit %d", code)
+	}
+}
+
+func TestGateUsageErrors(t *testing.T) {
+	base := snapshot(t, "base.json", 100)
+	cand := snapshot(t, "cand.json", 90)
+
+	if code, _, errb := runGate(t); code != 2 || !strings.Contains(errb, "-candidate is required") {
+		t.Errorf("missing candidate: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runGate(t, "-candidate", cand, "-baseline", filepath.Join(t.TempDir(), "missing.json")); code != 2 {
+		t.Errorf("missing baseline file: exit %d, want 2", code)
+	}
+	if code, _, _ := runGate(t, "-baseline", base, "-candidate", cand, "-engines", "no-such"); code != 2 {
+		t.Errorf("unknown engine: exit %d, want 2", code)
+	}
+	if code, _, _ := runGate(t, "-baseline", base, "-candidate", cand, "-tolerance", "1.5"); code != 2 {
+		t.Errorf("bad tolerance: exit %d, want 2", code)
+	}
+	if code, _, _ := runGate(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+
+	// Malformed JSON baseline.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runGate(t, "-baseline", bad, "-candidate", cand); code != 2 {
+		t.Errorf("malformed baseline: exit %d, want 2", code)
+	}
+	// Empty snapshot.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"points":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runGate(t, "-baseline", base, "-candidate", empty); code != 2 {
+		t.Errorf("empty candidate: exit %d, want 2", code)
+	}
+}

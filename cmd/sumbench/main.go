@@ -11,10 +11,10 @@
 //	sumbench -figure ingest -workerlist 1,2,4,8 -batches 1,64,4096
 //
 // Figures: f1 f2 f3 pram cond em carry radix sigma combiner seq parallel
-// ingest engines all. The seq, parallel, and ingest figures enumerate the
-// summation-engine registry, so newly registered engines appear without
-// harness changes. Unknown -figure or -engines names exit with status 2
-// and print the valid names.
+// ingest wire engines all. The seq, parallel, ingest, and wire figures
+// enumerate the summation-engine registry, so newly registered engines
+// appear without harness changes. Unknown -figure or -engines names exit
+// with status 2 and print the valid names.
 package main
 
 import (
@@ -32,7 +32,7 @@ import (
 // (engines, the registry listing, is skipped by "all").
 var validFigures = []string{
 	"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma",
-	"combiner", "seq", "parallel", "ingest", "engines",
+	"combiner", "seq", "parallel", "ingest", "wire", "engines",
 }
 
 func main() {
@@ -49,7 +49,8 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		engines   = flag.String("engines", "dense,sparse,small,large", "engines for the parallel and ingest figures")
 		batches   = flag.String("batches", "1,64,4096", "batch-size sweep for the ingest figure")
-		reps      = flag.Int("reps", 3, "repetitions per parallel/ingest cell (best-of)")
+		reps      = flag.Int("reps", 3, "repetitions per parallel/ingest/wire cell (best-of)")
+		parts     = flag.Int("parts", 64, "combiner partials for the wire figure")
 		jsonOut   = flag.String("jsonout", "", "write the parallel or ingest figure's snapshot as JSON to this file")
 	)
 	flag.Parse()
@@ -168,6 +169,16 @@ func main() {
 				data, err := snap.JSON()
 				writeJSON(data, err)
 			}
+		case "wire":
+			sz := nn
+			if *quick {
+				sz = 1_000_000
+			}
+			if *parts < 1 {
+				fmt.Fprintf(os.Stderr, "wire partial count must be >= 1 (got %d)\n", *parts)
+				os.Exit(2)
+			}
+			show(bench.WireBench(sz, *delta, checkEngines(false), *parts, *reps))
 		case "engines":
 			listEngines()
 		default:

@@ -1,0 +1,90 @@
+// Command sumd is the distributed exact-aggregation daemon: an HTTP merge
+// service backed by a sharded superaccumulator. Workers combine their
+// slice of the input locally and push serialized exact partials (or raw
+// value batches); sumd merges them carry-free and serves the correctly
+// rounded sum, bit-identical to summing the concatenated input
+// sequentially regardless of how the work was partitioned or interleaved.
+//
+// Usage:
+//
+//	sumd -addr :8372 -engine dense -shards 8
+//
+// Endpoints (see internal/sumdsrv): POST /v1/add, POST/GET /v1/partial,
+// GET /v1/sum, POST /v1/reset, GET /v1/stats, GET /v1/healthz.
+//
+// Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 1 on serve error,
+// 2 on usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parsum/internal/sumdsrv"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parse args, bind, serve until ctx is
+// cancelled. It returns the process exit status.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sumd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
+		engName = fs.String("engine", "dense", "summation engine backing the service")
+		shards  = fs.Int("shards", 0, "writer-stripe count (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "sumd: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	srv, err := sumdsrv.New(sumdsrv.Options{Engine: *engName, Shards: *shards})
+	if err != nil {
+		fmt.Fprintln(stderr, "sumd:", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "sumd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "sumd: engine=%s listening on %s\n", srv.Engine(), ln.Addr())
+
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			fmt.Fprintln(stderr, "sumd: shutdown:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "sumd: shut down")
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(stderr, "sumd:", err)
+		return 1
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	ctx := context.Background()
+	var out, errb strings.Builder
+	if got := run(ctx, []string{"-no-such-flag"}, &out, &errb); got != 2 {
+		t.Errorf("bad flag: exit %d, want 2", got)
+	}
+	if got := run(ctx, []string{"stray-arg"}, &out, &errb); got != 2 {
+		t.Errorf("stray arg: exit %d, want 2", got)
+	}
+	if got := run(ctx, []string{"-engine", "no-such-engine"}, &out, &errb); got != 2 {
+		t.Errorf("unknown engine: exit %d, want 2", got)
+	}
+	if got := run(ctx, []string{"-engine", "kahan"}, &out, &errb); got != 2 {
+		t.Errorf("non-sharded engine: exit %d, want 2", got)
+	}
+	if got := run(ctx, []string{"-addr", "256.256.256.256:1"}, &out, &errb); got != 1 {
+		t.Errorf("unbindable addr: exit %d, want 1", got)
+	}
+}
+
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	outc := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		var errb strings.Builder
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shards", "2"}, &lineWriter{c: outc}, &errb)
+	}()
+
+	// The first output line reports the bound address.
+	var addr string
+	select {
+	case line := <-outc:
+		m := regexp.MustCompile(`listening on (\S+)`).FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("no address in %q", line)
+		}
+		addr = m[1]
+	case <-time.After(5 * time.Second):
+		t.Fatal("sumd did not report a listen address")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("clean shutdown exit %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sumd did not shut down")
+	}
+}
+
+// lineWriter forwards its first Write as a string on the channel — enough
+// to capture the "listening on" line without buffering races.
+type lineWriter struct {
+	c    chan<- string
+	sent bool
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	if !w.sent {
+		w.sent = true
+		w.c <- string(p)
+	}
+	return len(p), nil
+}

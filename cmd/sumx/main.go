@@ -20,6 +20,7 @@ package main
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,13 +34,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parse args, sum the input streams,
+// print the result. It returns the process exit status.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sumx", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bin     = flag.Bool("bin", false, "input is raw little-endian float64 binary")
-		stats   = flag.Bool("stats", false, "print count, Σ|x|, condition number, and accumulator σ")
-		engName = flag.String("engine", "sparse", "streaming summation engine (see -engines)")
-		list    = flag.Bool("engines", false, "list registered engines and exit")
+		bin     = fs.Bool("bin", false, "input is raw little-endian float64 binary")
+		stats   = fs.Bool("stats", false, "print count, Σ|x|, condition number, and accumulator σ")
+		engName = fs.String("engine", "sparse", "streaming summation engine (see -engines)")
+		list    = fs.Bool("engines", false, "list registered engines and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range engine.All() {
@@ -47,19 +61,24 @@ func main() {
 			if e.Caps().Streaming {
 				streaming = "*"
 			}
-			fmt.Printf("%s %-12s %s\n", streaming, e.Name(), e.Doc())
+			fmt.Fprintf(stdout, "%s %-12s %s\n", streaming, e.Name(), e.Doc())
 		}
-		fmt.Println("engines marked * stream and are usable with -engine")
-		return
+		fmt.Fprintln(stdout, "engines marked * stream and are usable with -engine")
+		return 0
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sumx:", err)
+		return 1
 	}
 
 	eng, ok := engine.Get(*engName)
 	if !ok {
-		fail(fmt.Errorf("unknown engine %q (see -engines)", *engName))
+		return fail(fmt.Errorf("unknown engine %q (see -engines)", *engName))
 	}
 	sum := eng.NewAccumulator()
 	if sum == nil {
-		fail(fmt.Errorf("engine %q does not stream; pick a streaming engine (see -engines)", *engName))
+		return fail(fmt.Errorf("engine %q does not stream; pick a streaming engine (see -engines)", *engName))
 	}
 	abs := eng.NewAccumulator()
 	var n int64
@@ -69,12 +88,12 @@ func main() {
 			br := bufio.NewReaderSize(r, 1<<20)
 			var buf [8]byte
 			for {
-				if _, err := io.ReadFull(br, buf[:]); err != nil {
+				if nr, err := io.ReadFull(br, buf[:]); err != nil {
 					if err == io.EOF {
 						return nil
 					}
 					if err == io.ErrUnexpectedEOF {
-						return fmt.Errorf("trailing %d bytes are not a float64", len(buf))
+						return fmt.Errorf("trailing %d bytes are not a float64", nr)
 					}
 					return err
 				}
@@ -103,26 +122,26 @@ func main() {
 		return sc.Err()
 	}
 
-	if flag.NArg() == 0 {
-		if err := process(os.Stdin); err != nil {
-			fail(err)
+	if fs.NArg() == 0 {
+		if err := process(stdin); err != nil {
+			return fail(err)
 		}
 	} else {
-		for _, name := range flag.Args() {
+		for _, name := range fs.Args() {
 			f, err := os.Open(name)
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			err = process(f)
 			f.Close()
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 		}
 	}
 
 	s := sum.Round()
-	fmt.Println(strconv.FormatFloat(s, 'g', -1, 64))
+	fmt.Fprintln(stdout, strconv.FormatFloat(s, 'g', -1, 64))
 	if *stats {
 		a := abs.Round()
 		c := math.NaN()
@@ -138,12 +157,8 @@ func main() {
 		if sc, ok := sum.(engine.SigmaCounter); ok {
 			sigma = strconv.Itoa(sc.Sigma())
 		}
-		fmt.Fprintf(os.Stderr, "n=%d  sum|x|=%g  C(X)=%g  sigma=%s components  engine=%s\n",
+		fmt.Fprintf(stderr, "n=%d  sum|x|=%g  C(X)=%g  sigma=%s components  engine=%s\n",
 			n, a, c, sigma, *engName)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "sumx:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runSumx(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunTextSum(t *testing.T) {
+	code, out, errb := runSumx(t, nil, "1e100 1 -1e100\n")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if strings.TrimSpace(out) != "1" {
+		t.Fatalf("sum = %q, want 1 (exact summation)", out)
+	}
+}
+
+func TestRunBinarySum(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, -0.3, -0.2}
+	var b strings.Builder
+	buf := make([]byte, 8)
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		b.Write(buf)
+	}
+	code, out, errb := runSumx(t, []string{"-bin"}, b.String())
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if strings.TrimSpace(out) != "0.1" {
+		t.Fatalf("sum = %q, want 0.1", out)
+	}
+}
+
+func TestRunBinaryTrailingBytes(t *testing.T) {
+	code, _, errb := runSumx(t, []string{"-bin"}, "12345")
+	if code != 1 || !strings.Contains(errb, "not a float64") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestRunFileArgsAndStats(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.txt")
+	f2 := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(f1, []byte("2.5 -1.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, []byte("4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runSumx(t, []string{"-stats", f1, f2}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if strings.TrimSpace(out) != "5" {
+		t.Fatalf("sum = %q, want 5", out)
+	}
+	for _, want := range []string{"n=3", "sum|x|=8", "engine=sparse"} {
+		if !strings.Contains(errb, want) {
+			t.Errorf("stats %q missing %q", errb, want)
+		}
+	}
+}
+
+func TestRunEnginesListing(t *testing.T) {
+	code, out, _ := runSumx(t, []string{"-engines"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, eng := range []string{"dense", "sparse", "ifastsum", "kahan"} {
+		if !strings.Contains(out, eng) {
+			t.Errorf("listing missing engine %q", eng)
+		}
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	if code, _, errb := runSumx(t, []string{"-engine", "no-such"}, "1"); code != 1 || !strings.Contains(errb, "unknown engine") {
+		t.Errorf("unknown engine: exit %d, stderr %q", code, errb)
+	}
+	if code, _, errb := runSumx(t, []string{"-engine", "kahan"}, "1"); code != 1 || !strings.Contains(errb, "does not stream") {
+		t.Errorf("non-streaming engine: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runSumx(t, []string{"-no-such-flag"}, ""); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, errb := runSumx(t, nil, "1 two 3"); code != 1 || !strings.Contains(errb, "bad number") {
+		t.Errorf("bad number: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runSumx(t, []string{filepath.Join(t.TempDir(), "missing.txt")}, ""); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestRunSpecialsRoundTrip(t *testing.T) {
+	code, out, _ := runSumx(t, nil, "+Inf 1 2")
+	if code != 0 || strings.TrimSpace(out) != "+Inf" {
+		t.Fatalf("inf sum: exit %d out %q", code, out)
+	}
+	code, out, _ = runSumx(t, nil, "+Inf -Inf")
+	if code != 0 || strings.TrimSpace(out) != "NaN" {
+		t.Fatalf("inf cancel: exit %d out %q", code, out)
+	}
+}

@@ -8,20 +8,26 @@ import (
 
 // Binary wire format for superaccumulators, so partial sums can be
 // exchanged between processes — the role the paper's reducers' "write the
-// resulting sparse superaccumulator to the output" plays on HDFS.
+// resulting sparse superaccumulator to the output" plays on HDFS. The
+// format is endian-stable by construction: every multi-byte quantity is a
+// varint, so the same bytes decode to the same value on any platform.
 //
 // Layout (little-endian varints):
 //
 //	magic   byte = 0xA5
-//	kind    byte ('S' sparse, 'D' dense)
+//	kind    byte ('S' sparse/window, 'D' dense, 'N' Neal small, 'L' Neal large)
 //	version byte = 1
 //	width   byte (digit width W)
 //	flags   byte (bit 0 NaN, bit 1 +Inf, bit 2 −Inf)
 //	count   uvarint (number of components)
 //	count × { idx zigzag-varint, dig zigzag-varint }
 //
-// Components must be strictly ascending by index; digits must lie in the
-// (α,β) range. Decoding validates everything it reads.
+// Components must be strictly ascending by index, every index must lie in
+// the digit range a width-W accumulator over float64 sums can populate
+// (digitBounds), and digits must lie in the (α,β) range. Decoding
+// validates everything it reads before allocating anything proportional
+// to it, so arbitrary untrusted bytes can neither panic the decoder nor
+// make it allocate more than O(len(data)).
 
 const (
 	codecMagic   = 0xA5
@@ -86,33 +92,51 @@ func appendComponents(buf []byte, idx []int32, dig []int64) []byte {
 
 func parseComponents(data []byte, w uint) (idx []int32, dig []int64, err error) {
 	count, n := binary.Uvarint(data)
-	if n <= 0 {
+	if n == 0 {
 		return nil, nil, ErrCodecTruncated
 	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("%w: component count varint overflows uint64", ErrCodecInvalid)
+	}
 	data = data[n:]
-	if count > 1<<24 {
-		return nil, nil, fmt.Errorf("%w: absurd component count %d", ErrCodecInvalid, count)
+	// Every component costs at least two bytes (one per varint), so a count
+	// the remaining buffer cannot possibly hold is a lie about the input
+	// length — reject it before sizing any allocation from it.
+	if count > uint64(len(data))/2 {
+		return nil, nil, fmt.Errorf("%w: %d components claimed but only %d bytes follow", ErrCodecTruncated, count, len(data))
+	}
+	// Strictly ascending indices confined to the width-W digit range also
+	// bound the component count by that range's span.
+	minIdx, maxIdx := digitBounds(w)
+	if count > uint64(maxIdx-minIdx+1) {
+		return nil, nil, fmt.Errorf("%w: %d components cannot be strictly ascending in digit range [%d,%d]", ErrCodecInvalid, count, minIdx, maxIdx)
 	}
 	r := int64(1) << w
 	idx = make([]int32, 0, count)
 	dig = make([]int64, 0, count)
-	var prev int64 = -1 << 40
+	prev := int64(minIdx) - 1
 	for k := uint64(0); k < count; k++ {
 		i, n := binary.Varint(data)
-		if n <= 0 {
+		if n == 0 {
 			return nil, nil, ErrCodecTruncated
+		}
+		if n < 0 {
+			return nil, nil, fmt.Errorf("%w: component index varint overflows int64", ErrCodecInvalid)
 		}
 		data = data[n:]
 		d, n := binary.Varint(data)
-		if n <= 0 {
+		if n == 0 {
 			return nil, nil, ErrCodecTruncated
 		}
+		if n < 0 {
+			return nil, nil, fmt.Errorf("%w: digit varint overflows int64", ErrCodecInvalid)
+		}
 		data = data[n:]
+		if i < int64(minIdx) || i > int64(maxIdx) {
+			return nil, nil, fmt.Errorf("%w: component index %d outside digit range [%d,%d] for W=%d", ErrCodecInvalid, i, minIdx, maxIdx, w)
+		}
 		if i <= prev {
 			return nil, nil, fmt.Errorf("%w: component indices not strictly ascending", ErrCodecInvalid)
-		}
-		if i < -1<<30 || i > 1<<30 {
-			return nil, nil, fmt.Errorf("%w: component index %d out of range", ErrCodecInvalid, i)
 		}
 		if d <= -r || d >= r {
 			return nil, nil, fmt.Errorf("%w: digit %d outside (α,β) range for W=%d", ErrCodecInvalid, d, w)
@@ -190,5 +214,132 @@ func (d *Dense) UnmarshalBinary(data []byte) error {
 	nd.sp = sp
 	nd.nAdd = 1
 	*d = *nd
+	return nil
+}
+
+// MarshalBinary encodes a's value as the sparse-component ('S') payload —
+// a Window is a sparse superaccumulator with contiguous storage, so the two
+// share a wire kind and decode into each other. The window is regularized
+// as a side effect. It implements encoding.BinaryMarshaler.
+func (a *Window) MarshalBinary() ([]byte, error) {
+	return a.ToSparse().MarshalBinary()
+}
+
+// UnmarshalBinary decodes a sparse-component payload into a, replacing its
+// contents. The decoded index span is bounded by digitBounds, so a
+// malicious payload cannot force a large window allocation. It implements
+// encoding.BinaryUnmarshaler.
+func (a *Window) UnmarshalBinary(data []byte) error {
+	w, sp, rest, err := parseHeader(data, 'S')
+	if err != nil {
+		return err
+	}
+	idx, dig, err := parseComponents(rest, w)
+	if err != nil {
+		return err
+	}
+	a.w, a.sp, a.maxAdd, a.nAdd = w, sp, maxLazyAdds(w), 1
+	a.win, a.base = a.win[:0], 0
+	if len(idx) > 0 {
+		lo, hi := int(idx[0]), int(idx[len(idx)-1])
+		a.base = lo
+		a.win = append(a.win, make([]int64, hi-lo+1)...)
+		for k, ix := range idx {
+			a.win[int(ix)-lo] = dig[k]
+		}
+	}
+	return nil
+}
+
+// MarshalBinary encodes s compactly (nonzero chunks only, kind 'N'). The
+// accumulator's carries are propagated as a side effect. It implements
+// encoding.BinaryMarshaler.
+func (s *Small) MarshalBinary() ([]byte, error) {
+	s.Propagate()
+	var idx []int32
+	var dig []int64
+	for i, v := range s.dig {
+		if v != 0 {
+			idx = append(idx, int32(s.minIdx+i))
+			dig = append(dig, v)
+		}
+	}
+	buf := appendHeader(nil, 'N', smallWidth, s.sp)
+	return appendComponents(buf, idx, dig), nil
+}
+
+// UnmarshalBinary decodes into s, replacing its contents. It implements
+// encoding.BinaryUnmarshaler.
+func (s *Small) UnmarshalBinary(data []byte) error {
+	w, sp, rest, err := parseHeader(data, 'N')
+	if err != nil {
+		return err
+	}
+	if w != smallWidth {
+		return fmt.Errorf("%w: small superaccumulator width %d, want %d", ErrCodecInvalid, w, smallWidth)
+	}
+	idx, dig, err := parseComponents(rest, w)
+	if err != nil {
+		return err
+	}
+	ns := NewSmall()
+	for k, ix := range idx {
+		i := int(ix) - ns.minIdx
+		if i < 0 || i >= len(ns.dig) {
+			return fmt.Errorf("%w: component index %d outside small range", ErrCodecInvalid, ix)
+		}
+		ns.dig[i] = dig[k]
+	}
+	ns.sp = sp
+	ns.nAdd = 1
+	*s = *ns
+	return nil
+}
+
+// MarshalBinary encodes l's value (kind 'L') by folding every exponent bin
+// into the dense base and emitting its nonzero digits. It implements
+// encoding.BinaryMarshaler.
+func (l *Large) MarshalBinary() ([]byte, error) {
+	l.fold()
+	l.base.Regularize()
+	var idx []int32
+	var dig []int64
+	for i, v := range l.base.dig {
+		if v != 0 {
+			idx = append(idx, int32(l.base.minIdx+i))
+			dig = append(dig, v)
+		}
+	}
+	sp := l.sp
+	sp.merge(l.base.sp)
+	buf := appendHeader(nil, 'L', l.base.w, sp)
+	return appendComponents(buf, idx, dig), nil
+}
+
+// UnmarshalBinary decodes into l, replacing its contents. It implements
+// encoding.BinaryUnmarshaler.
+func (l *Large) UnmarshalBinary(data []byte) error {
+	w, sp, rest, err := parseHeader(data, 'L')
+	if err != nil {
+		return err
+	}
+	if w != DefaultWidth {
+		return fmt.Errorf("%w: large superaccumulator base width %d, want %d", ErrCodecInvalid, w, DefaultWidth)
+	}
+	idx, dig, err := parseComponents(rest, w)
+	if err != nil {
+		return err
+	}
+	nl := NewLarge()
+	for k, ix := range idx {
+		i := int(ix) - nl.base.minIdx
+		if i < 0 || i >= len(nl.base.dig) {
+			return fmt.Errorf("%w: component index %d outside dense range", ErrCodecInvalid, ix)
+		}
+		nl.base.dig[i] = dig[k]
+	}
+	nl.base.nAdd = 1
+	nl.sp = sp
+	*l = *nl
 	return nil
 }

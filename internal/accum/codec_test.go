@@ -4,6 +4,7 @@ import (
 	"encoding"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -15,6 +16,12 @@ var (
 	_ encoding.BinaryUnmarshaler = (*Sparse)(nil)
 	_ encoding.BinaryMarshaler   = (*Dense)(nil)
 	_ encoding.BinaryUnmarshaler = (*Dense)(nil)
+	_ encoding.BinaryMarshaler   = (*Window)(nil)
+	_ encoding.BinaryUnmarshaler = (*Window)(nil)
+	_ encoding.BinaryMarshaler   = (*Small)(nil)
+	_ encoding.BinaryUnmarshaler = (*Small)(nil)
+	_ encoding.BinaryMarshaler   = (*Large)(nil)
+	_ encoding.BinaryUnmarshaler = (*Large)(nil)
 )
 
 func TestSparseCodecRoundTrip(t *testing.T) {
@@ -145,10 +152,194 @@ func TestCodecQuickNeverPanics(t *testing.T) {
 		_ = s.UnmarshalBinary(data) // must not panic; error is fine
 		var d Dense
 		_ = d.UnmarshalBinary(data)
+		var w Window
+		_ = w.UnmarshalBinary(data)
+		var sm Small
+		_ = sm.UnmarshalBinary(data)
+		l := NewLarge()
+		_ = l.UnmarshalBinary(data)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// streamCodec is the shape every streaming accumulator codec shares, so
+// the round-trip tests below can run one table over all of them.
+type streamCodec interface {
+	Add(x float64)
+	Round() float64
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+}
+
+func streamCodecs(w uint) map[string]func() streamCodec {
+	return map[string]func() streamCodec{
+		"window": func() streamCodec { return NewWindow(w) },
+		"small":  func() streamCodec { return NewSmall() },
+		"large":  func() streamCodec { return NewLarge() },
+	}
+}
+
+func TestStreamingCodecsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for name, mk := range streamCodecs(0) {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 60; trial++ {
+				xs := randValues(r, 1+r.Intn(80), true)
+				a := mk()
+				for _, x := range xs {
+					a.Add(x)
+				}
+				want := a.Round()
+				data, err := a.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				back := mk()
+				if err := back.UnmarshalBinary(data); err != nil {
+					t.Fatal(err)
+				}
+				got := back.Round()
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("roundtrip=%g want=%g", got, want)
+				}
+				// Re-encoding the decoded value must round-trip again
+				// (decode(encode) is idempotent on the represented value).
+				data2, err := back.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				back2 := mk()
+				if err := back2.UnmarshalBinary(data2); err != nil {
+					t.Fatal(err)
+				}
+				if g2 := back2.Round(); g2 != want && !(math.IsNaN(g2) && math.IsNaN(want)) {
+					t.Fatalf("second roundtrip=%g want=%g", g2, want)
+				}
+				// Decoded accumulators stay usable.
+				back.Add(0.375)
+				a.Add(0.375)
+				ga, gb := back.Round(), a.Round()
+				if ga != gb && !(math.IsNaN(ga) && math.IsNaN(gb)) {
+					t.Fatalf("decoded accumulator diverged after Add: %g vs %g", ga, gb)
+				}
+			}
+		})
+	}
+}
+
+func TestWindowSparseShareWireKind(t *testing.T) {
+	// A Window blob decodes as Sparse and vice versa: both are the 'S'
+	// sparse-component payload.
+	xs := []float64{1e100, 1, -1e100, 0x1p-1040}
+	w := NewWindow(0)
+	w.AddSlice(xs)
+	data, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Sparse
+	if err := s.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Round(), oracle.Sum(xs); got != want {
+		t.Fatalf("window→sparse=%g want=%g", got, want)
+	}
+	data2, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 Window
+	if err := w2.UnmarshalBinary(data2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w2.Round(), oracle.Sum(xs); got != want {
+		t.Fatalf("sparse→window=%g want=%g", got, want)
+	}
+}
+
+// TestCodecMalformedPayloads is the table of crafted payloads the decoder
+// must reject with an error (never a panic, never a giant allocation):
+// the bug class a networked merge service turns security-relevant.
+func TestCodecMalformedPayloads(t *testing.T) {
+	// A valid minimal header for kind 'S', width 32, no specials.
+	head := func(kind byte, w byte, flags byte) []byte {
+		return []byte{0xA5, kind, 1, w, flags}
+	}
+	var varintOverflow = []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"header-only-truncated", []byte{0xA5, 'S', 1, 32}},
+		{"missing-count", head('S', 32, 0)},
+		{"count-overflows-uint64", append(head('S', 32, 0), varintOverflow...)},
+		{"count-exceeds-buffer", append(head('S', 32, 0), 0x20)},                                                    // 32 components, 0 bytes
+		{"count-exceeds-digit-range", append(head('S', 8, 0), append([]byte{0xAC, 0x02}, make([]byte, 600)...)...)}, // 300 components at W=8
+		{"component-truncated-mid-pair", append(head('S', 32, 0), 1, 2)},
+		{"index-varint-overflow", append(head('S', 32, 0), append([]byte{1}, varintOverflow...)...)},
+		{"digit-varint-overflow", append(head('S', 32, 0), append([]byte{1, 2}, varintOverflow...)...)},
+		{"index-below-range", append(head('S', 32, 0), 1, 0xFF, 0x7F, 2)},        // idx = −8192
+		{"index-above-range", append(head('S', 32, 0), 1, 0xFE, 0x7F, 2)},        // idx = +8191
+		{"indices-not-ascending", append(head('S', 32, 0), 2, 4, 2, 4, 2)},       // idx 2 twice
+		{"digit-out-of-alpha-beta", append(head('S', 8, 0), 1, 2, 0x80, 0x04)},   // dig = 256 at W=8
+		{"trailing-bytes", append(head('S', 32, 0), 1, 2, 2, 0xEE)},              //
+		{"unknown-flags", append(head('S', 32, 0x08), 0)},                        //
+		{"bad-width-low", append(head('S', 7, 0), 0)},                            //
+		{"bad-width-high", append(head('S', 33, 0), 0)},                          //
+		{"small-wrong-width", append(head('N', 16, 0), 0)},                       // Small is fixed W=32
+		{"large-wrong-width", append(head('L', 16, 0), 0)},                       // Large base is fixed W=32
+		{"sparse-as-dense-kind-confusion", append(head('S', 32, 0), 0)},          // decoded below as Dense
+		{"count-lies-buffer-has-fewer", append(head('S', 32, 0), 3, 1, 2, 2, 2)}, // 3 claimed, 2 present
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sparse
+			if tc.name == "sparse-as-dense-kind-confusion" {
+				var d Dense
+				if err := d.UnmarshalBinary(tc.data); err == nil {
+					t.Fatal("kind confusion accepted")
+				}
+				return
+			}
+			var w Window
+			var sm Small
+			l := NewLarge()
+			errs := []error{
+				s.UnmarshalBinary(tc.data),
+				w.UnmarshalBinary(tc.data),
+				sm.UnmarshalBinary(tc.data),
+				l.UnmarshalBinary(tc.data),
+			}
+			for i, err := range errs {
+				if err == nil {
+					// Only the decoder whose kind byte matches could legally
+					// accept; none of these payloads is valid for any kind.
+					t.Fatalf("decoder %d accepted malformed payload % x", i, tc.data)
+				}
+			}
+		})
+	}
+}
+
+// TestCodecHostileCountNoHugeAlloc pins the truncation fix: a tiny payload
+// claiming 2^24 components must be rejected without allocating component
+// storage for them.
+func TestCodecHostileCountNoHugeAlloc(t *testing.T) {
+	payload := []byte{0xA5, 'S', 1, 32, 0, 0x80, 0x80, 0x80, 0x08} // count = 2^24
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var s Sparse
+	if err := s.UnmarshalBinary(payload); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+	runtime.ReadMemStats(&after)
+	if grown := after.TotalAlloc - before.TotalAlloc; grown > 1<<20 {
+		t.Fatalf("decoder allocated %d bytes for a %d-byte hostile payload", grown, len(payload))
 	}
 }
 

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"parsum/internal/engine"
+	"parsum/internal/gen"
+)
+
+// WireBench measures the wire-partial codec: per engine, the input is
+// split into parts combiner partials, and the encode (MarshalPartial) and
+// decode+merge (UnmarshalPartial + Merge) paths are timed best-of-reps.
+// Every cell is verified: the decoded-and-merged sum must be bit-identical
+// to the engine's one-shot sum of the same input, or the cell reports
+// FAIL. Engines whose accumulators cannot cross the wire are noted and
+// skipped.
+func WireBench(n int64, delta int, engines []string, parts, reps int) Table {
+	if reps < 1 {
+		reps = 1
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	xs := gen.New(gen.Config{Dist: gen.Random, N: n, Delta: delta, Seed: 23}).Slice()
+	t := Table{
+		Title:  fmt.Sprintf("T-WIRE — partial-sum codec (n=%d, δ=%d, %d partials, best of %d)", n, delta, parts, reps),
+		XLabel: "engine",
+		Series: []string{"bytes/partial", "encode", "enc MB/s", "decode+merge", "dec MB/s", "exact"},
+	}
+	per := len(xs) / parts
+	for _, name := range engines {
+		e := engine.MustGet(name)
+		if !engine.CanMarshal(e) {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: accumulators cannot marshal wire partials; skipped", name))
+			continue
+		}
+		// Build the combiner partials once; encode/decode are what's timed.
+		accs := make([]engine.Accumulator, parts)
+		for p := 0; p < parts; p++ {
+			lo, hi := p*per, (p+1)*per
+			if p == parts-1 {
+				hi = len(xs)
+			}
+			accs[p] = e.NewAccumulator()
+			accs[p].AddSlice(xs[lo:hi])
+		}
+
+		var blobs [][]byte
+		var wireBytes int64
+		encBest := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			var bs [][]byte
+			var total int64
+			d := timeIt(func() {
+				bs = make([][]byte, parts)
+				for p, acc := range accs {
+					blob, err := engine.MarshalPartial(name, acc)
+					if err != nil {
+						panic(err)
+					}
+					bs[p] = blob
+					total += int64(len(blob))
+				}
+			})
+			if d < encBest {
+				encBest = d
+			}
+			blobs, wireBytes = bs, total
+		}
+
+		decBest := time.Duration(1<<63 - 1)
+		var got float64
+		for r := 0; r < reps; r++ {
+			var root engine.Accumulator
+			d := timeIt(func() {
+				root = e.NewAccumulator()
+				for _, blob := range blobs {
+					_, dec, err := engine.UnmarshalPartial(blob)
+					if err != nil {
+						panic(err)
+					}
+					root.Merge(dec)
+				}
+			})
+			if d < decBest {
+				decBest = d
+			}
+			got = root.Round()
+		}
+
+		want := e.Sum(xs)
+		exact := "yes"
+		if math.Float64bits(got) != math.Float64bits(want) &&
+			!(math.IsNaN(got) && math.IsNaN(want)) {
+			exact = "FAIL"
+		}
+		mbps := func(d time.Duration) string {
+			if d <= 0 {
+				return "inf"
+			}
+			return fmt.Sprintf("%.1f", float64(wireBytes)/d.Seconds()/1e6)
+		}
+		t.Rows = append(t.Rows, Row{
+			X: name,
+			Values: map[string]string{
+				"bytes/partial": fmt.Sprintf("%d", wireBytes/int64(parts)),
+				"encode":        secs(encBest),
+				"enc MB/s":      mbps(encBest),
+				"decode+merge":  secs(decBest),
+				"dec MB/s":      mbps(decBest),
+				"exact":         exact,
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("raw input is %d bytes; partials ship superaccumulator components, so wire volume is per-partial, not per-element", 8*len(xs)))
+	return t
+}

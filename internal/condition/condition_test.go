@@ -1,0 +1,94 @@
+package condition
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"all-zero", []float64{0, 0, math.Copysign(0, -1)}, 1},
+		{"single", []float64{2}, 1},
+		{"same-sign", []float64{1, 2, 3}, 1},
+		{"mixed-mild", []float64{3, -1}, 2},
+		{"exact-cancellation", []float64{1e300, -1e300}, math.Inf(1)},
+		{"nan-input", []float64{1, math.NaN()}, math.NaN()},
+		{"inf-input", []float64{math.Inf(1), 1}, math.NaN()},
+		{"neg-inf-input", []float64{math.Inf(-1)}, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Number(tc.xs)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Number=%g, want NaN", got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("Number=%g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNumberExactCancellationResidual: the definition is computed from
+// exact sums, so a residual one ulp above total cancellation must produce
+// a huge-but-finite condition number, not Inf — the case naive float
+// division of naive float sums gets wrong.
+func TestNumberExactCancellationResidual(t *testing.T) {
+	xs := []float64{1e100, 1, -1e100}
+	got := Number(xs)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Number=%v, want finite", got)
+	}
+	// Σ|x| = 2e100+1 rounds to 2e100; Σx = 1 exactly.
+	if want := 2e100; got != want {
+		t.Fatalf("Number=%g, want %g", got, want)
+	}
+}
+
+func TestParts(t *testing.T) {
+	abs, sum := Parts([]float64{1.5, -2.25, 0.25})
+	if abs != 4.0 {
+		t.Errorf("Σ|x|=%g, want 4", abs)
+	}
+	if sum != -0.5 {
+		t.Errorf("Σx=%g, want -0.5", sum)
+	}
+	// Parts must be exact, not merely accurate: a sum that naive
+	// accumulation gets wrong by an ulp.
+	abs, sum = Parts([]float64{1, 0x1p-53, 0x1p-53})
+	if want := 1 + 0x1p-52; sum != want {
+		t.Errorf("exact Σx=%g, want %g", sum, want)
+	}
+	if abs != sum {
+		t.Errorf("Σ|x|=%g should equal Σx=%g for positive input", abs, sum)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if got := Log2(nil); got != 0 {
+		t.Errorf("Log2(empty)=%g, want 0 (clamped)", got)
+	}
+	if got := Log2([]float64{1, 1}); got != 0 {
+		t.Errorf("Log2(well-conditioned)=%g, want 0", got)
+	}
+	if got := Log2([]float64{1e300, -1e300}); !math.IsInf(got, 1) {
+		t.Errorf("Log2(cancelling)=%g, want +Inf", got)
+	}
+	if got := Log2([]float64{math.NaN()}); !math.IsNaN(got) {
+		t.Errorf("Log2(NaN)=%g, want NaN", got)
+	}
+	// C = 2^100 exactly: log2 must be exactly 100.
+	xs := []float64{0x1p100, -(0x1p100 - 0x1p48), 0 /* Σ = 2^48, Σ|x| = 2^101-2^48 */}
+	c := Number(xs)
+	if got := Log2(xs); math.Abs(got-math.Log2(c)) > 1e-12 {
+		t.Errorf("Log2=%g, want log2(%g)=%g", got, c, math.Log2(c))
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"parsum/internal/accum"
 	"parsum/internal/engine"
 )
@@ -60,6 +62,24 @@ func (a *denseAcc) Reset()                     { a.d.Reset() }
 func (a *denseAcc) Clone() engine.Accumulator  { return &denseAcc{d: a.d.Clone()} }
 func (a *denseAcc) Sigma() int                 { return a.d.ToSparse().Len() }
 
+// MarshalBinary implements the wire-partial codec for the dense engine.
+func (a *denseAcc) MarshalBinary() ([]byte, error) { return a.d.MarshalBinary() }
+
+// UnmarshalBinary decodes a wire partial, enforcing the engine's canonical
+// digit width: the dense engine always runs at accum.DefaultWidth, and a
+// partial of any other width could not merge with local accumulators.
+func (a *denseAcc) UnmarshalBinary(data []byte) error {
+	var d accum.Dense
+	if err := d.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	if d.Width() != a.d.Width() {
+		return fmt.Errorf("engine %q: partial has digit width %d, engine runs at %d", EngineDense, d.Width(), a.d.Width())
+	}
+	*a.d = d
+	return nil
+}
+
 // windowAcc adapts accum.Window to the engine.Accumulator interface.
 type windowAcc struct{ w *accum.Window }
 
@@ -72,6 +92,23 @@ func (a *windowAcc) Reset()                     { a.w.Reset() }
 func (a *windowAcc) Clone() engine.Accumulator  { return &windowAcc{w: a.w.Clone()} }
 func (a *windowAcc) Sigma() int                 { return a.w.ToSparse().Len() }
 
+// MarshalBinary implements the wire-partial codec for the sparse engine.
+func (a *windowAcc) MarshalBinary() ([]byte, error) { return a.w.MarshalBinary() }
+
+// UnmarshalBinary decodes a wire partial, enforcing the engine's canonical
+// digit width (see denseAcc.UnmarshalBinary).
+func (a *windowAcc) UnmarshalBinary(data []byte) error {
+	var w accum.Window
+	if err := w.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	if w.Width() != a.w.Width() {
+		return fmt.Errorf("engine %q: partial has digit width %d, engine runs at %d", EngineSparse, w.Width(), a.w.Width())
+	}
+	*a.w = w
+	return nil
+}
+
 // smallAcc adapts accum.Small to the engine.Accumulator interface.
 type smallAcc struct{ s *accum.Small }
 
@@ -82,6 +119,14 @@ func (a *smallAcc) Round() float64             { return a.s.Round() }
 func (a *smallAcc) Reset()                     { a.s.Reset() }
 func (a *smallAcc) Clone() engine.Accumulator  { return &smallAcc{s: a.s.Clone()} }
 
+// MarshalBinary implements the wire-partial codec for the small engine;
+// Small's chunk spacing is fixed, so no width enforcement is needed beyond
+// the accum codec's own.
+func (a *smallAcc) MarshalBinary() ([]byte, error) { return a.s.MarshalBinary() }
+
+// UnmarshalBinary implements the wire-partial codec for the small engine.
+func (a *smallAcc) UnmarshalBinary(data []byte) error { return a.s.UnmarshalBinary(data) }
+
 // largeAcc adapts accum.Large to the engine.Accumulator interface.
 type largeAcc struct{ l *accum.Large }
 
@@ -91,3 +136,10 @@ func (a *largeAcc) Merge(o engine.Accumulator) { a.l.Merge(o.(*largeAcc).l) }
 func (a *largeAcc) Round() float64             { return a.l.Round() }
 func (a *largeAcc) Reset()                     { a.l.Reset() }
 func (a *largeAcc) Clone() engine.Accumulator  { return &largeAcc{l: a.l.Clone()} }
+
+// MarshalBinary implements the wire-partial codec for the large engine;
+// Large's base width is fixed, enforced by the accum codec.
+func (a *largeAcc) MarshalBinary() ([]byte, error) { return a.l.MarshalBinary() }
+
+// UnmarshalBinary implements the wire-partial codec for the large engine.
+func (a *largeAcc) UnmarshalBinary(data []byte) error { return a.l.UnmarshalBinary(data) }

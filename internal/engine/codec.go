@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+)
+
+// Wire envelope for engine partials: the versioned, engine-tagged frame a
+// partial sum travels in between processes. The envelope carries only what
+// the engine seam needs — which engine's representation follows — and
+// delegates the representation itself to the accumulator's own
+// BinaryMarshaler (internal/accum's codec for the superaccumulator
+// engines), which records width, non-finite state, and components. The
+// format is endian-stable: fixed single bytes plus the varint-based inner
+// payload.
+//
+// Layout:
+//
+//	magic   byte = 0xC7
+//	version byte = 1
+//	nameLen byte (1..255)
+//	name    nameLen bytes (registry name of the engine)
+//	payload rest (the accumulator's own MarshalBinary encoding)
+//
+// Decoding validates the frame, resolves the engine in the registry, and
+// rejects payloads whose engine is unknown, cannot stream, or cannot
+// unmarshal — arbitrary bytes never panic and never allocate more than
+// O(len(data)).
+
+const (
+	wireMagic   = 0xC7
+	wireVersion = 1
+)
+
+// Wire-envelope errors. Inner payload errors come wrapped from the
+// accumulator's own codec (accum.ErrCodecTruncated / ErrCodecInvalid for
+// the superaccumulator engines).
+var (
+	ErrWireTruncated = errors.New("engine: truncated partial envelope")
+	ErrWireInvalid   = errors.New("engine: invalid partial envelope")
+)
+
+// BinaryAccumulator is the interface an accumulator must satisfy for its
+// partials to cross a process boundary.
+type BinaryAccumulator interface {
+	Accumulator
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// CanMarshal reports whether e's accumulators can be serialized as wire
+// partials: the engine streams and its accumulator implements both binary
+// codec directions.
+func CanMarshal(e Engine) bool {
+	if !e.Caps().Streaming {
+		return false
+	}
+	_, ok := e.NewAccumulator().(BinaryAccumulator)
+	return ok
+}
+
+// MarshalPartial encodes a as a wire partial tagged with the engine name
+// it must be decoded under. It errors when the accumulator does not
+// support binary marshaling or the name cannot fit the envelope.
+func MarshalPartial(engineName string, a Accumulator) ([]byte, error) {
+	if len(engineName) == 0 || len(engineName) > 255 {
+		return nil, fmt.Errorf("%w: engine name length %d outside [1,255]", ErrWireInvalid, len(engineName))
+	}
+	m, ok := a.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("%w: engine %q accumulator does not support binary marshaling", ErrWireInvalid, engineName)
+	}
+	payload, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 3+len(engineName)+len(payload))
+	buf = append(buf, wireMagic, wireVersion, byte(len(engineName)))
+	buf = append(buf, engineName...)
+	return append(buf, payload...), nil
+}
+
+// UnmarshalPartial decodes a wire partial: it validates the envelope,
+// resolves the named engine in the registry, and returns a fresh
+// accumulator of that engine holding the decoded partial sum. The inner
+// payload is validated by the accumulator's own UnmarshalBinary.
+func UnmarshalPartial(data []byte) (engineName string, a Accumulator, err error) {
+	if len(data) < 3 {
+		return "", nil, ErrWireTruncated
+	}
+	if data[0] != wireMagic {
+		return "", nil, fmt.Errorf("%w: bad magic %#x", ErrWireInvalid, data[0])
+	}
+	if data[1] != wireVersion {
+		return "", nil, fmt.Errorf("%w: unsupported version %d", ErrWireInvalid, data[1])
+	}
+	nameLen := int(data[2])
+	if nameLen == 0 {
+		return "", nil, fmt.Errorf("%w: empty engine name", ErrWireInvalid)
+	}
+	if len(data) < 3+nameLen {
+		return "", nil, ErrWireTruncated
+	}
+	engineName = string(data[3 : 3+nameLen])
+	e, ok := Get(engineName)
+	if !ok {
+		return engineName, nil, fmt.Errorf("%w: unknown engine %q (registered: %v)", ErrWireInvalid, engineName, Names())
+	}
+	acc := e.NewAccumulator()
+	if acc == nil {
+		return engineName, nil, fmt.Errorf("%w: engine %q does not stream", ErrWireInvalid, engineName)
+	}
+	u, ok := acc.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return engineName, nil, fmt.Errorf("%w: engine %q accumulator does not support binary unmarshaling", ErrWireInvalid, engineName)
+	}
+	if err := u.UnmarshalBinary(data[3+nameLen:]); err != nil {
+		return engineName, nil, err
+	}
+	return engineName, acc, nil
+}

@@ -27,6 +27,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,10 @@ import (
 	"parsum/internal/core"
 	"parsum/internal/engine"
 )
+
+// ErrEngineMismatch is returned by MergeBytes when a wire partial was
+// produced by a different engine than the one backing the accumulator.
+var ErrEngineMismatch = errors.New("shard: partial engine does not match accumulator engine")
 
 // Options configures a Sharded accumulator; the zero value is ready to
 // use (dense engine, one shard per P).
@@ -235,6 +240,39 @@ func (s *Sharded) Reset() {
 		s.recycle(p)
 	}
 	s.base.Reset()
+}
+
+// SnapshotBytes folds everything ingested so far and returns its exact
+// value as a versioned wire partial (engine.MarshalPartial), suitable for
+// shipping to a remote merge service. Like Snapshot it does not disturb
+// ingestion, and the encoded value covers every Add/AddBatch that
+// completed before the per-shard swaps. It errors only when the backing
+// engine's accumulators cannot marshal (see engine.CanMarshal).
+func (s *Sharded) SnapshotBytes() ([]byte, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.foldLocked()
+	return engine.MarshalPartial(s.eng.Name(), s.base)
+}
+
+// MergeBytes decodes a wire partial and folds its exact contents into s —
+// the reducer half of the paper's combiner→reducer exchange. Unlike Merge,
+// which panics on programmer error, MergeBytes returns errors: the payload
+// is remote input, and a malformed or engine-mismatched partial must not
+// take the process down. The merge is exact, so pushing the same set of
+// partials in any order yields a bit-identical Sum.
+func (s *Sharded) MergeBytes(data []byte) error {
+	name, acc, err := engine.UnmarshalPartial(data)
+	if err != nil {
+		return err
+	}
+	if name != s.eng.Name() {
+		return fmt.Errorf("%w (partial %q, accumulator %q)", ErrEngineMismatch, name, s.eng.Name())
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.base.Merge(acc)
+	return nil
 }
 
 // mergeMu serializes cross-instance merges so concurrent a.Merge(b) and

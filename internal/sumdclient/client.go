@@ -1,0 +1,180 @@
+// Package sumdclient is the worker-side half of the distributed
+// aggregation protocol: a small HTTP client for a sumd merge service
+// (internal/sumdsrv), plus a Combiner that plays the paper's map-side
+// combiner — accumulate a slice of the input exactly in a local
+// superaccumulator, then ship the serialized partial over the socket in
+// one hop. Everything exchanged is an exact wire partial, so the service's
+// final sum is bit-identical to summing the whole input sequentially no
+// matter how work was split across combiners or when they flushed.
+package sumdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"parsum"
+	"parsum/internal/sumdsrv"
+)
+
+// Client talks to one sumd service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a Client for the sumd service at baseURL (e.g.
+// "http://127.0.0.1:8372"). hc may be nil for http.DefaultClient.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// apiError is a non-2xx response from the service.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("sumd: HTTP %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// Read one byte past the server's body cap so an over-cap response is
+	// an error here, not a silently truncated blob failing later.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, sumdsrv.MaxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > sumdsrv.MaxBodyBytes {
+		return nil, fmt.Errorf("sumd: response to %s %s exceeds %d bytes", method, path, sumdsrv.MaxBodyBytes)
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := strings.TrimSpace(string(data))
+		var je struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &je) == nil && je.Error != "" {
+			msg = je.Error
+		}
+		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	return data, nil
+}
+
+// AddBatch ships xs to the service as raw little-endian float64s — exact
+// for every value, including non-finite ones.
+func (c *Client) AddBatch(ctx context.Context, xs []float64) error {
+	body := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(x))
+	}
+	_, err := c.do(ctx, http.MethodPost, "/v1/add", "application/octet-stream", body)
+	return err
+}
+
+// PushPartial merges a serialized wire partial (Accumulator.MarshalBinary
+// or Sharded.SnapshotBytes) into the service.
+func (c *Client) PushPartial(ctx context.Context, blob []byte) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/partial", "application/octet-stream", blob)
+	return err
+}
+
+// Sum returns the service's correctly rounded exact sum. The value is
+// reconstructed from the served IEEE bit pattern, so the client sees the
+// service's bits exactly.
+func (c *Client) Sum(ctx context.Context) (float64, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/sum", "", nil)
+	if err != nil {
+		return 0, err
+	}
+	var resp struct {
+		Bits string `json:"bits"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return 0, fmt.Errorf("sumd: decoding sum response: %w", err)
+	}
+	bits, err := strconv.ParseUint(resp.Bits, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sumd: bad bits field %q: %w", resp.Bits, err)
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// SnapshotPartial returns the service's state as a wire partial, so a
+// higher-level reducer can merge whole sumd instances.
+func (c *Client) SnapshotPartial(ctx context.Context) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/partial", "", nil)
+}
+
+// Reset empties the service's accumulator.
+func (c *Client) Reset(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/reset", "", nil)
+	return err
+}
+
+// Combiner is the map-side combiner: a local exact accumulator plus the
+// client to flush it through. It is not safe for concurrent use — each
+// worker goroutine should own one.
+type Combiner struct {
+	c   *Client
+	acc *parsum.Accumulator
+}
+
+// NewCombiner returns a Combiner accumulating through the named engine
+// ("" means dense). The engine must match the service's, or Flush will be
+// rejected with a 409.
+func (c *Client) NewCombiner(engineName string) (*Combiner, error) {
+	if engineName == "" {
+		engineName = "dense"
+	}
+	acc, err := parsum.NewAccumulatorEngine(engineName)
+	if err != nil {
+		return nil, err
+	}
+	return &Combiner{c: c, acc: acc}, nil
+}
+
+// Add accumulates x exactly into the local partial.
+func (co *Combiner) Add(x float64) { co.acc.Add(x) }
+
+// AddSlice accumulates every element of xs exactly into the local partial.
+func (co *Combiner) AddSlice(xs []float64) { co.acc.AddSlice(xs) }
+
+// Flush serializes the local partial, pushes it to the service, and on
+// success resets the local accumulator so the Combiner can keep
+// accumulating the next stretch of input. Flushing after every slice or
+// once at the end yields the same final bits — merges are exact.
+func (co *Combiner) Flush(ctx context.Context) error {
+	blob, err := co.acc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := co.c.PushPartial(ctx, blob); err != nil {
+		return err
+	}
+	co.acc.Reset()
+	return nil
+}

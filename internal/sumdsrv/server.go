@@ -1,0 +1,281 @@
+// Package sumdsrv implements the HTTP merge service behind cmd/sumd: a
+// network-facing reducer backed by a parsum.Sharded accumulator. Workers
+// anywhere combine their slice of the input locally (the paper's map-side
+// combiner), serialize the exact partial with the versioned wire codec,
+// and POST it here; the service merges partials carry-free and rounds once
+// when a sum is requested. Because every exchange is an exact
+// superaccumulator partial, the served sum is bit-identical to summing the
+// concatenated input sequentially — regardless of how the input was
+// partitioned across workers, the order partials arrive, or how many
+// shards the service runs.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/add      raw little-endian float64s (application/octet-stream)
+//	                  or JSON {"values":[...]} — ingest values directly
+//	POST /v1/partial  a wire partial (Accumulator.MarshalBinary /
+//	                  Sharded.SnapshotBytes) — merge a remote partial
+//	GET  /v1/partial  the service's own state as a wire partial, so sumd
+//	                  instances can chain into reduction trees
+//	GET  /v1/sum      {"sum":"<decimal>","bits":"<hex>",...} — rounded once
+//	POST /v1/reset    empty the accumulator
+//	GET  /v1/stats    ingestion counters
+//	GET  /v1/healthz  liveness + configuration
+//
+// Malformed payloads are rejected with 400 (decode error) or 409 (engine
+// mismatch) and never disturb accumulated state; bodies are size-capped.
+package sumdsrv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"parsum"
+	"parsum/internal/shard"
+)
+
+// MaxBodyBytes caps every request body (64 MiB ≈ 8M float64s per batch).
+const MaxBodyBytes = 64 << 20
+
+// Options configures a Server; the zero value is ready to use (dense
+// engine, one shard per P).
+type Options struct {
+	// Engine names the summation engine backing the service; "" means
+	// dense. It must be streaming, deterministic-parallel, and
+	// wire-marshalable (the four superaccumulator engines qualify).
+	Engine string
+	// Shards is the writer-stripe count of the backing Sharded; 0 means
+	// GOMAXPROCS.
+	Shards int
+}
+
+// Server is the merge service. It implements http.Handler and is safe for
+// concurrent use.
+type Server struct {
+	sh    *parsum.Sharded
+	mux   *http.ServeMux
+	start time.Time
+
+	values   atomic.Int64 // raw float64s ingested via /v1/add
+	batches  atomic.Int64 // /v1/add requests
+	partials atomic.Int64 // wire partials merged via POST /v1/partial
+	sums     atomic.Int64 // /v1/sum and GET /v1/partial responses
+}
+
+// New returns a Server backed by a fresh Sharded accumulator. It errors
+// when the engine cannot back a deterministic sharded accumulator or its
+// partials cannot cross the wire.
+func New(opt Options) (*Server, error) {
+	sh, err := parsum.NewSharded(parsum.ShardedOptions{Engine: opt.Engine, Shards: opt.Shards})
+	if err != nil {
+		return nil, err
+	}
+	// Fail at construction, not first snapshot, if partials cannot ship.
+	if _, err := sh.SnapshotBytes(); err != nil {
+		return nil, fmt.Errorf("sumd: engine %q cannot serve wire partials: %w", sh.Engine(), err)
+	}
+	s := &Server{sh: sh, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
+	s.mux.HandleFunc("POST /v1/partial", s.handlePushPartial)
+	s.mux.HandleFunc("GET /v1/partial", s.handleGetPartial)
+	s.mux.HandleFunc("GET /v1/sum", s.handleSum)
+	s.mux.HandleFunc("POST /v1/reset", s.handleReset)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Engine returns the registry name of the backing engine.
+func (s *Server) Engine() string { return s.sh.Engine() }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// SumResponse is the GET /v1/sum payload. Sum is the shortest decimal
+// that round-trips to the exact float64 ("NaN", "+Inf", "-Inf" for
+// non-finite results); Bits is its IEEE-754 bit pattern in hex — the
+// field distributed bit-identity checks should compare.
+type SumResponse struct {
+	Sum    string `json:"sum"`
+	Bits   string `json:"bits"`
+	Engine string `json:"engine"`
+	Shards int    `json:"shards"`
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	Engine        string `json:"engine"`
+	Shards        int    `json:"shards"`
+	Values        int64  `json:"values"`
+	Batches       int64  `json:"batches"`
+	Partials      int64  `json:"partials"`
+	SumsServed    int64  `json:"sums_served"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// AddRequest is the JSON form of POST /v1/add. The binary form
+// (application/octet-stream, raw little-endian float64s) is preferred for
+// bulk and is the only way to ship non-finite values.
+type AddRequest struct {
+	Values []float64 `json:"values"`
+}
+
+// AddResponse is the POST /v1/add payload.
+type AddResponse struct {
+	Added int `json:"added"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// readBody drains a size-capped request body, mapping the cap being hit
+// to 413 (split and retry) rather than 400 (malformed payload).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	// Content-Type may carry parameters (RFC 9110); route on the media
+	// type alone.
+	mediaType := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(mediaType); err == nil {
+		mediaType = mt
+	}
+	var xs []float64
+	if mediaType == "application/octet-stream" {
+		if len(body)%8 != 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("binary batch length %d is not a multiple of 8", len(body)))
+			return
+		}
+		xs = make([]float64, len(body)/8)
+		for i := range xs {
+			xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+	} else {
+		var req AddRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding JSON batch: %w", err))
+			return
+		}
+		// A batch is one JSON value; trailing content would otherwise be
+		// silently dropped data.
+		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+			writeError(w, http.StatusBadRequest, errors.New("trailing data after JSON batch"))
+			return
+		}
+		xs = req.Values
+	}
+	s.sh.AddBatch(xs)
+	s.batches.Add(1)
+	s.values.Add(int64(len(xs)))
+	writeJSON(w, http.StatusOK, AddResponse{Added: len(xs)})
+}
+
+func (s *Server) handlePushPartial(w http.ResponseWriter, r *http.Request) {
+	blob, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if err := s.sh.MergeBytes(blob); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, shard.ErrEngineMismatch) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.partials.Add(1)
+	writeJSON(w, http.StatusOK, struct {
+		Merged int `json:"merged"`
+	}{Merged: 1})
+}
+
+func (s *Server) handleGetPartial(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.sh.SnapshotBytes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.sums.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	_, _ = w.Write(blob)
+}
+
+func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
+	v := s.sh.Sum()
+	s.sums.Add(1)
+	writeJSON(w, http.StatusOK, SumResponse{
+		Sum:    strconv.FormatFloat(v, 'g', -1, 64),
+		Bits:   strconv.FormatUint(math.Float64bits(v), 16),
+		Engine: s.sh.Engine(),
+		Shards: s.sh.NumShards(),
+	})
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	s.sh.Reset()
+	writeJSON(w, http.StatusOK, struct {
+		Reset bool `json:"reset"`
+	}{Reset: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engine:        s.sh.Engine(),
+		Shards:        s.sh.NumShards(),
+		Values:        s.values.Load(),
+		Batches:       s.batches.Load(),
+		Partials:      s.partials.Load(),
+		SumsServed:    s.sums.Load(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK     bool   `json:"ok"`
+		Engine string `json:"engine"`
+		Shards int    `json:"shards"`
+	}{OK: true, Engine: s.sh.Engine(), Shards: s.sh.NumShards()})
+}

@@ -135,16 +135,17 @@ func SumEngine(name string, xs []float64) float64 { return core.SumEngine(name, 
 // Accumulator is a streaming summator backed by a registered engine —
 // by default the paper's dense (α,β)-regularized superaccumulator
 // spanning the full float64 range, which accumulates and merges exactly.
-// The zero value is not usable; construct with NewAccumulator or
-// NewAccumulatorEngine.
+// The zero value is not usable; construct with NewAccumulator,
+// NewAccumulatorEngine, or UnmarshalBinary.
 type Accumulator struct {
-	a engine.Accumulator
+	name string
+	a    engine.Accumulator
 }
 
 // NewAccumulator returns an empty exact accumulator backed by the dense
 // superaccumulator engine.
 func NewAccumulator() *Accumulator {
-	return &Accumulator{a: engine.MustGet(core.EngineDense).NewAccumulator()}
+	return &Accumulator{name: core.EngineDense, a: engine.MustGet(core.EngineDense).NewAccumulator()}
 }
 
 // NewAccumulatorEngine returns an empty accumulator backed by the named
@@ -159,7 +160,37 @@ func NewAccumulatorEngine(name string) (*Accumulator, error) {
 	if acc == nil {
 		return nil, fmt.Errorf("parsum: engine %q does not support streaming accumulation", name)
 	}
-	return &Accumulator{a: acc}, nil
+	return &Accumulator{name: name, a: acc}, nil
+}
+
+// Engine returns the registry name of the engine backing a.
+func (a *Accumulator) Engine() string { return a.name }
+
+// MarshalBinary encodes the accumulator's exact partial sum as a
+// versioned, endian-stable wire partial tagged with its engine name, so it
+// can be shipped to another process and merged there without any rounding
+// error — the payload the paper's map-side combiners emit. It implements
+// encoding.BinaryMarshaler. Engines whose accumulators cannot serialize
+// (none of the built-in streaming engines) return an error.
+func (a *Accumulator) MarshalBinary() ([]byte, error) {
+	return engine.MarshalPartial(a.name, a.a)
+}
+
+// UnmarshalBinary decodes a wire partial into a, replacing its contents
+// (including the backing engine, which the payload names). It implements
+// encoding.BinaryUnmarshaler, validates everything it reads, and never
+// panics on malformed input. Note that the decoded engine is chosen by
+// the payload: when the bytes come from an untrusted peer, check Engine()
+// before Merge (which panics on mixed engines), or use Sharded.MergeBytes,
+// which rejects engine mismatches with an error. It works on a zero
+// Accumulator.
+func (a *Accumulator) UnmarshalBinary(data []byte) error {
+	name, acc, err := engine.UnmarshalPartial(data)
+	if err != nil {
+		return err
+	}
+	a.name, a.a = name, acc
+	return nil
 }
 
 // Add accumulates x exactly.
@@ -171,8 +202,14 @@ func (a *Accumulator) AddSlice(xs []float64) { a.a.AddSlice(xs) }
 // Merge adds the exact contents of o into a; o's value is unchanged.
 // Accumulators built from disjoint data merge to exactly the accumulator
 // of the combined data, in any order. Both sides must come from the same
-// engine; mixing engines panics.
-func (a *Accumulator) Merge(o *Accumulator) { a.a.Merge(o.a) }
+// engine; mixing engines panics (decoded accumulators name their engine —
+// see UnmarshalBinary).
+func (a *Accumulator) Merge(o *Accumulator) {
+	if a.name != o.name {
+		panic(fmt.Sprintf("parsum: Merge of %q accumulator with %q accumulator", a.name, o.name))
+	}
+	a.a.Merge(o.a)
+}
 
 // Round returns the correctly rounded float64 value of the exact sum
 // accumulated so far. The accumulator remains usable.
@@ -182,7 +219,7 @@ func (a *Accumulator) Round() float64 { return a.a.Round() }
 func (a *Accumulator) Reset() { a.a.Reset() }
 
 // Clone returns an independent copy.
-func (a *Accumulator) Clone() *Accumulator { return &Accumulator{a: a.a.Clone()} }
+func (a *Accumulator) Clone() *Accumulator { return &Accumulator{name: a.name, a: a.a.Clone()} }
 
 // ShardedOptions configures NewSharded; the zero value is ready to use
 // (dense engine, one shard per P). See shard.Options for field
@@ -211,6 +248,12 @@ func NewSharded(opt ShardedOptions) (*Sharded, error) {
 	return &Sharded{s: s}, nil
 }
 
+// Engine returns the registry name of the engine backing every shard.
+func (s *Sharded) Engine() string { return s.s.Engine() }
+
+// NumShards returns the number of writer stripes.
+func (s *Sharded) NumShards() int { return s.s.Shards() }
+
 // Add accumulates x exactly.
 func (s *Sharded) Add(x float64) { s.s.Add(x) }
 
@@ -233,6 +276,20 @@ func (s *Sharded) Reset() { s.s.Reset() }
 // Merge folds the exact contents of o into s; o is unchanged and remains
 // usable. Both sides must use the same engine; mixing engines panics.
 func (s *Sharded) Merge(o *Sharded) { s.s.Merge(o.s) }
+
+// SnapshotBytes folds everything ingested so far and returns its exact
+// value as a wire partial — the payload a worker ships to a remote merge
+// service (see cmd/sumd). Ingestion may continue concurrently; the encoded
+// value covers every Add/AddBatch that completed before it.
+func (s *Sharded) SnapshotBytes() ([]byte, error) { return s.s.SnapshotBytes() }
+
+// MergeBytes decodes a wire partial (produced by Accumulator.MarshalBinary
+// or Sharded.SnapshotBytes anywhere — another process, another machine)
+// and folds its exact contents in. Malformed or engine-mismatched payloads
+// return an error and leave s unchanged. Pushing the same partials in any
+// order yields a bit-identical Sum: the merge is exact and rounding
+// happens once, at Sum.
+func (s *Sharded) MergeBytes(data []byte) error { return s.s.MergeBytes(data) }
 
 // Writer returns an ingestion handle pinned to one shard (assigned
 // round-robin), for dedicated long-lived writer goroutines.

@@ -1,0 +1,121 @@
+package parsum_test
+
+import (
+	"math"
+	"testing"
+
+	"parsum"
+	"parsum/internal/gen"
+	"parsum/internal/oracle"
+)
+
+// TestAccumulatorBinaryRoundTrip: the public marshal surface — encode a
+// partial, decode into a zero Accumulator, and the exact value (and the
+// backing engine) survives.
+func TestAccumulatorBinaryRoundTrip(t *testing.T) {
+	for _, eng := range []string{"dense", "sparse", "small", "large"} {
+		acc, err := parsum.NewAccumulatorEngine(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := gen.New(gen.Config{Dist: gen.SumZero, N: 3000, Delta: 1200, Seed: 31}).Slice()
+		acc.AddSlice(xs[:1500])
+
+		blob, err := acc.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		var back parsum.Accumulator
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if back.Engine() != eng {
+			t.Fatalf("engine %q decoded as %q", eng, back.Engine())
+		}
+		// The decoded accumulator keeps accumulating and merging exactly.
+		back.AddSlice(xs[1500:])
+		want := oracle.Sum(xs)
+		if got := back.Round(); got != want {
+			t.Fatalf("%s: resumed sum=%g oracle=%g", eng, got, want)
+		}
+		other, err := parsum.NewAccumulatorEngine(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		other.Merge(&back)
+		if got := other.Round(); got != want {
+			t.Fatalf("%s: merge of decoded=%g oracle=%g", eng, got, want)
+		}
+	}
+}
+
+// TestAccumulatorMergeMixedEnginesPanics pins the documented failure mode
+// for merging a decoded partial of a different engine: a clear panic, not
+// a representation-level type assertion.
+func TestAccumulatorMergeMixedEnginesPanics(t *testing.T) {
+	dense := parsum.NewAccumulator()
+	small, err := parsum.NewAccumulatorEngine("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := small.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded parsum.Accumulator
+	if err := decoded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge of mixed engines did not panic")
+		}
+	}()
+	dense.Merge(&decoded)
+}
+
+func TestAccumulatorUnmarshalRejectsGarbage(t *testing.T) {
+	var a parsum.Accumulator
+	for _, data := range [][]byte{nil, {0}, {0xC7}, {0xC7, 1, 5, 'x'}, make([]byte, 64)} {
+		if err := a.UnmarshalBinary(data); err == nil {
+			t.Errorf("garbage % x accepted", data)
+		}
+	}
+}
+
+// TestShardedWireExchange: the public distributed story end to end in one
+// process — worker Shardeds export SnapshotBytes, a reducer Sharded merges
+// them, and the result carries the oracle's exact bits.
+func TestShardedWireExchange(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 20000, Delta: 1500, Seed: 32}).Slice()
+	reducer, err := parsum.NewSharded(parsum.ShardedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 5
+	per := len(xs) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == workers-1 {
+			hi = len(xs)
+		}
+		worker, err := parsum.NewSharded(parsum.ShardedOptions{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worker.AddBatch(xs[lo:hi])
+		blob, err := worker.SnapshotBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reducer.MergeBytes(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := parsum.Sum(xs)
+	got := reducer.Sum()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("distributed=%g (bits %x) sequential=%g (bits %x)",
+			got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
