@@ -32,7 +32,7 @@ import (
 // (engines, the registry listing, is skipped by "all").
 var validFigures = []string{
 	"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma",
-	"combiner", "seq", "parallel", "ingest", "wire", "engines",
+	"combiner", "seq", "parallel", "ingest", "wire", "stream", "engines",
 }
 
 func main() {
@@ -49,9 +49,11 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		engines   = flag.String("engines", "dense,sparse,small,large", "engines for the parallel and ingest figures")
 		batches   = flag.String("batches", "1,64,4096", "batch-size sweep for the ingest figure")
-		reps      = flag.Int("reps", 3, "repetitions per parallel/ingest/wire cell (best-of)")
+		reps      = flag.Int("reps", 3, "repetitions per parallel/ingest/wire/stream cell (best-of)")
 		parts     = flag.Int("parts", 64, "combiner partials for the wire figure")
-		jsonOut   = flag.String("jsonout", "", "write the parallel or ingest figure's snapshot as JSON to this file")
+		slots     = flag.String("slots", "1,4,16", "slot-count sweep for the stream figure")
+		buckets   = flag.String("buckets", "1024,65536", "bucket-size (values per eviction) sweep for the stream figure")
+		jsonOut   = flag.String("jsonout", "", "write the parallel, ingest, or stream figure's snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -169,6 +171,32 @@ func main() {
 				data, err := snap.JSON()
 				writeJSON(data, err)
 			}
+		case "stream":
+			sz := nn
+			if *quick {
+				sz = 1_000_000
+			}
+			sl := parseInts(*slots)
+			bk := parseInts(*buckets)
+			for _, v := range append(append([]int{}, sl...), bk...) {
+				if v < 1 {
+					fmt.Fprintf(os.Stderr, "stream slot counts and bucket sizes must be >= 1 (got %d)\n", v)
+					os.Exit(2)
+				}
+			}
+			names := checkEngines(true)
+			for _, nm := range names {
+				if !engine.MustGet(nm).Caps().Invertible {
+					fmt.Fprintf(os.Stderr, "engine %q cannot back a sliding window (needs Invertible)\n", nm)
+					os.Exit(2)
+				}
+			}
+			snap := bench.StreamBench(sz, *delta, sl, bk, names, *reps)
+			show(snap.Table())
+			if *jsonOut != "" {
+				data, err := snap.JSON()
+				writeJSON(data, err)
+			}
 		case "wire":
 			sz := nn
 			if *quick {
@@ -209,7 +237,7 @@ func listEngines() {
 		for _, f := range []struct {
 			on bool
 			ch string
-		}{{c.Exact, "E"}, {c.CorrectlyRounded, "R"}, {c.Faithful, "F"}, {c.DeterministicParallel, "P"}, {c.Streaming, "S"}} {
+		}{{c.Exact, "E"}, {c.CorrectlyRounded, "R"}, {c.Faithful, "F"}, {c.DeterministicParallel, "P"}, {c.Streaming, "S"}, {c.Invertible, "I"}} {
 			if f.on {
 				flags += f.ch
 			} else {
@@ -218,7 +246,7 @@ func listEngines() {
 		}
 		fmt.Printf("%-12s %-8s %s\n", e.Name(), flags, e.Doc())
 	}
-	fmt.Println("caps: E=exact R=correctly-rounded F=faithful P=deterministic-parallel S=streaming")
+	fmt.Println("caps: E=exact R=correctly-rounded F=faithful P=deterministic-parallel S=streaming I=invertible")
 }
 
 func splitNames(s string) []string {

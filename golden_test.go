@@ -1,0 +1,194 @@
+// Golden-vector regression tests: testdata/golden/*.json pin the exact
+// IEEE-754 bit pattern every registered engine produces on a set of
+// ill-conditioned classics — Anderson cancellation, huge-κ generated
+// vectors, and ±Inf/NaN tables — so accidental drift in any layer (digit
+// arithmetic, rounding, merge order, engine wiring) fails a test instead
+// of silently changing results someone downstream depends on.
+//
+// Regenerate after an *intentional* semantics change with:
+//
+//	go test -run TestGoldenVectors -update
+//
+// and review the diff: every changed bit pattern is a behavior change.
+package parsum_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"parsum"
+	"parsum/internal/condition"
+	"parsum/internal/gen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden expected bits from current behavior")
+
+// goldenFile is one testdata/golden/*.json document.
+type goldenFile struct {
+	Description string       `json:"description"`
+	Cases       []goldenCase `json:"cases"`
+}
+
+// goldenCase pins one input vector. Exactly one of Gen or Values describes
+// the input; Expected maps engine name → hex IEEE-754 bits of its Sum.
+// Kappa is informational (log2 of the condition number, +Inf rendered as
+// "inf"), recorded at update time.
+type goldenCase struct {
+	Name     string            `json:"name"`
+	Gen      *goldenGen        `json:"gen,omitempty"`
+	Values   []string          `json:"values,omitempty"` // hex IEEE-754 bits
+	Kappa    string            `json:"kappa_log2,omitempty"`
+	Expected map[string]string `json:"expected"`
+}
+
+type goldenGen struct {
+	Dist  string `json:"dist"`
+	N     int64  `json:"n"`
+	Delta int    `json:"delta"`
+	Seed  uint64 `json:"seed"`
+}
+
+var goldenDists = map[string]gen.Dist{
+	"condone":  gen.CondOne,
+	"random":   gen.Random,
+	"anderson": gen.Anderson,
+	"sumzero":  gen.SumZero,
+}
+
+func (c *goldenCase) input(t *testing.T) []float64 {
+	t.Helper()
+	switch {
+	case c.Gen != nil && c.Values != nil:
+		t.Fatalf("case %q: both gen and values set", c.Name)
+	case c.Gen != nil:
+		d, ok := goldenDists[c.Gen.Dist]
+		if !ok {
+			t.Fatalf("case %q: unknown dist %q", c.Name, c.Gen.Dist)
+		}
+		return gen.New(gen.Config{Dist: d, N: c.Gen.N, Delta: c.Gen.Delta, Seed: c.Gen.Seed}).Slice()
+	case c.Values != nil:
+		xs := make([]float64, len(c.Values))
+		for i, h := range c.Values {
+			bits, err := strconv.ParseUint(h, 16, 64)
+			if err != nil {
+				t.Fatalf("case %q value %d: %v", c.Name, i, err)
+			}
+			xs[i] = math.Float64frombits(bits)
+		}
+		return xs
+	}
+	t.Fatalf("case %q: no input", c.Name)
+	return nil
+}
+
+func goldenPaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "golden", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden vectors found under testdata/golden")
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func TestGoldenVectors(t *testing.T) {
+	for _, path := range goldenPaths(t) {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gf goldenFile
+			if err := json.Unmarshal(raw, &gf); err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			changed := false
+			for i := range gf.Cases {
+				c := &gf.Cases[i]
+				xs := c.input(t)
+				if *updateGolden {
+					c.Expected = map[string]string{}
+					for _, info := range parsum.Engines() {
+						v := parsum.SumEngine(info.Name, xs)
+						c.Expected[info.Name] = fmt.Sprintf("%016x", math.Float64bits(v))
+					}
+					k := condition.Log2(xs)
+					switch {
+					case math.IsInf(k, 1):
+						c.Kappa = "inf"
+					case math.IsNaN(k):
+						c.Kappa = "nan"
+					default:
+						c.Kappa = strconv.FormatFloat(k, 'f', 1, 64)
+					}
+					changed = true
+					continue
+				}
+				if len(c.Expected) == 0 {
+					t.Fatalf("case %q has no expected bits (run -update)", c.Name)
+				}
+				for name, wantHex := range c.Expected {
+					wantBits, err := strconv.ParseUint(wantHex, 16, 64)
+					if err != nil {
+						t.Fatalf("case %q engine %q: bad bits %q", c.Name, name, wantHex)
+					}
+					got := parsum.SumEngine(name, xs)
+					if gotBits := math.Float64bits(got); gotBits != wantBits {
+						t.Errorf("case %q engine %q: bits %016x (%g), golden %016x (%g)",
+							c.Name, name, gotBits, got, wantBits, math.Float64frombits(wantBits))
+					}
+				}
+			}
+			if changed {
+				out, err := json.MarshalIndent(gf, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+			}
+		})
+	}
+}
+
+// TestGoldenCoverEveryEngine: the golden corpus must pin every registered
+// engine on at least one case, so a newly registered engine cannot ship
+// without locked bits (run -update to add them).
+func TestGoldenCoverEveryEngine(t *testing.T) {
+	if *updateGolden {
+		t.Skip("updating")
+	}
+	covered := map[string]bool{}
+	for _, path := range goldenPaths(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gf goldenFile
+		if err := json.Unmarshal(raw, &gf); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range gf.Cases {
+			for name := range c.Expected {
+				covered[name] = true
+			}
+		}
+	}
+	for _, info := range parsum.Engines() {
+		if !covered[info.Name] {
+			t.Errorf("engine %q has no golden vector (run go test -run TestGoldenVectors -update)", info.Name)
+		}
+	}
+}

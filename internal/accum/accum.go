@@ -39,46 +39,81 @@ const (
 	DefaultWidth = 32
 )
 
-// special tracks non-finite summands out of band of the digit string, with
-// IEEE semantics: any NaN poisons the sum; +Inf and −Inf together make NaN;
-// otherwise an infinity dominates every finite value.
+// special tracks non-finite summands out of band of the digit string as
+// signed multiplicities, so the accumulator is a group rather than just a
+// monoid: deleting a previously added NaN or infinity (Sub/AddNeg)
+// decrements its counter and exactly restores the prior state. Resolution
+// follows IEEE semantics on the counters: any present NaN poisons the sum;
+// +Inf and −Inf both present make NaN; otherwise a present infinity
+// dominates every finite value. A counter is "present" when positive;
+// deleting a special that was never added drives its counter negative,
+// which reads as absent and cancels only against a later matching addition
+// (the group laws still hold exactly).
 type special struct {
-	nan    bool
-	posInf bool
-	negInf bool
+	nan    int64
+	posInf int64
+	negInf int64
 }
 
 func (s *special) merge(o special) {
-	s.nan = s.nan || o.nan
-	s.posInf = s.posInf || o.posInf
-	s.negInf = s.negInf || o.negInf
+	s.nan += o.nan
+	s.posInf += o.posInf
+	s.negInf += o.negInf
+}
+
+// unmerge subtracts o's multiplicities — the group inverse of merge, used
+// by AddNeg to delete a previously merged accumulator exactly.
+func (s *special) unmerge(o special) {
+	s.nan -= o.nan
+	s.posInf -= o.posInf
+	s.negInf -= o.negInf
+}
+
+// negate maps the tracked multiset through x ↦ −x: the infinity counters
+// swap and NaN stays NaN.
+func (s *special) negate() {
+	s.posInf, s.negInf = s.negInf, s.posInf
 }
 
 // resolved returns the non-finite result and true if the accumulated
 // specials force one, else (0, false).
 func (s *special) resolved() (float64, bool) {
 	switch {
-	case s.nan, s.posInf && s.negInf:
+	case s.nan > 0, s.posInf > 0 && s.negInf > 0:
 		return nan(), true
-	case s.posInf:
+	case s.posInf > 0:
 		return inf(1), true
-	case s.negInf:
+	case s.negInf > 0:
 		return inf(-1), true
 	}
 	return 0, false
 }
 
-func (s *special) any() bool { return s.nan || s.posInf || s.negInf }
+func (s *special) any() bool { return s.nan != 0 || s.posInf != 0 || s.negInf != 0 }
 
 // note records a non-finite summand classified by fpnum.Classify.
 func (s *special) note(c fpnum.Class) {
 	switch c {
 	case fpnum.ClassNaN:
-		s.nan = true
+		s.nan++
 	case fpnum.ClassPosInf:
-		s.posInf = true
+		s.posInf++
 	case fpnum.ClassNegInf:
-		s.negInf = true
+		s.negInf++
+	}
+}
+
+// unnote deletes one previously noted non-finite summand — the inverse of
+// note, used by Sub. Deletion removes the summand itself: Sub(+Inf) after
+// Add(+Inf) restores the empty state (it does not add a −Inf).
+func (s *special) unnote(c fpnum.Class) {
+	switch c {
+	case fpnum.ClassNaN:
+		s.nan--
+	case fpnum.ClassPosInf:
+		s.posInf--
+	case fpnum.ClassNegInf:
+		s.negInf--
 	}
 }
 

@@ -18,9 +18,17 @@ import (
 //	kind    byte ('S' sparse/window, 'D' dense, 'N' Neal small, 'L' Neal large)
 //	version byte = 1
 //	width   byte (digit width W)
-//	flags   byte (bit 0 NaN, bit 1 +Inf, bit 2 −Inf)
+//	flags   byte (bit 0 NaN, bit 1 +Inf, bit 2 −Inf, bit 3 extended counts)
+//	[flags bit 3 only] 3 × zigzag-varint (NaN, +Inf, −Inf multiplicities)
 //	count   uvarint (number of components)
 //	count × { idx zigzag-varint, dig zigzag-varint }
+//
+// Non-finite summands are tracked as signed multiplicities (deletion is a
+// decrement — see the special type). When every multiplicity is 0 or 1
+// the flags byte carries them as presence bits, bit-identical to the
+// pre-group encoding; any other multiplicity (several NaNs, or a net
+// deletion) sets flags bit 3 — with bits 0–2 clear — and ships the three
+// signed counts as zigzag varints, so exact deletion survives the wire.
 //
 // Components must be strictly ascending by index, every index must lie in
 // the digit range a width-W accumulator over float64 sums can populate
@@ -40,15 +48,28 @@ var (
 	ErrCodecInvalid   = errors.New("accum: invalid encoding")
 )
 
+// appendHeader emits the fixed header. Special multiplicities in {0, 1}
+// encode as presence bits (the historical layout, so partials of ordinary
+// sums are byte-identical to the pre-group format); anything else — a
+// repeated special, or a net deletion — switches to the extended-counts
+// form (flags bit 3 + three zigzag varints), keeping the wire
+// value-faithful for every reachable accumulator state.
 func appendHeader(buf []byte, kind byte, w uint, sp special) []byte {
+	inPresenceRange := func(c int64) bool { return c == 0 || c == 1 }
+	if !inPresenceRange(sp.nan) || !inPresenceRange(sp.posInf) || !inPresenceRange(sp.negInf) {
+		buf = append(buf, codecMagic, kind, codecVersion, byte(w), 8)
+		buf = binary.AppendVarint(buf, sp.nan)
+		buf = binary.AppendVarint(buf, sp.posInf)
+		return binary.AppendVarint(buf, sp.negInf)
+	}
 	var flags byte
-	if sp.nan {
+	if sp.nan > 0 {
 		flags |= 1
 	}
-	if sp.posInf {
+	if sp.posInf > 0 {
 		flags |= 2
 	}
-	if sp.negInf {
+	if sp.negInf > 0 {
 		flags |= 4
 	}
 	return append(buf, codecMagic, kind, codecVersion, byte(w), flags)
@@ -72,13 +93,36 @@ func parseHeader(data []byte, wantKind byte) (w uint, sp special, rest []byte, e
 		return 0, sp, nil, fmt.Errorf("%w: width %d out of range", ErrCodecInvalid, w)
 	}
 	flags := data[4]
-	if flags > 7 {
+	if flags > 8 {
+		// Bits 0–2 are presence bits, bit 3 selects the extended-counts
+		// form with bits 0–2 clear; every other combination is invalid.
 		return 0, sp, nil, fmt.Errorf("%w: unknown flags %#x", ErrCodecInvalid, flags)
 	}
-	sp.nan = flags&1 != 0
-	sp.posInf = flags&2 != 0
-	sp.negInf = flags&4 != 0
-	return w, sp, data[5:], nil
+	rest = data[5:]
+	if flags == 8 {
+		for _, dst := range []*int64{&sp.nan, &sp.posInf, &sp.negInf} {
+			c, n := binary.Varint(rest)
+			if n == 0 {
+				return 0, special{}, nil, ErrCodecTruncated
+			}
+			if n < 0 {
+				return 0, special{}, nil, fmt.Errorf("%w: special count varint overflows int64", ErrCodecInvalid)
+			}
+			*dst = c
+			rest = rest[n:]
+		}
+		return w, sp, rest, nil
+	}
+	if flags&1 != 0 {
+		sp.nan = 1
+	}
+	if flags&2 != 0 {
+		sp.posInf = 1
+	}
+	if flags&4 != 0 {
+		sp.negInf = 1
+	}
+	return w, sp, rest, nil
 }
 
 func appendComponents(buf []byte, idx []int32, dig []int64) []byte {

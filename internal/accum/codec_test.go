@@ -105,6 +105,67 @@ func TestCodecSpecialsSurvive(t *testing.T) {
 	}
 }
 
+// TestCodecSpecialMultiplicities: the extended-counts form preserves the
+// exact signed multiplicity of every special, so deleting a non-finite
+// value after a wire hop is still exact: an accumulator holding two +Infs
+// must survive a round trip and one deletion as +Inf, not as finite; a
+// net deletion (count −1) must survive and later cancel an addition.
+func TestCodecSpecialMultiplicities(t *testing.T) {
+	s := NewSparse(0)
+	s.Add(1.5)
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(1))
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sparse
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	back.Sub(math.Inf(1))
+	if got := back.Round(); !math.IsInf(got, 1) {
+		t.Fatalf("after deleting 1 of 2 decoded +Infs: %g, want +Inf", got)
+	}
+	back.Sub(math.Inf(1))
+	if got := back.Round(); got != 1.5 {
+		t.Fatalf("after deleting both: %g, want 1.5", got)
+	}
+
+	// Net deletion: a combiner that only retracted a NaN ships count −1,
+	// which must cancel a NaN on the receiving side after a round trip.
+	d := NewDense(0)
+	d.Sub(math.NaN())
+	data, err = d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dback Dense
+	if err := dback.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	dback.Add(2.5)
+	if got := dback.Round(); got != 2.5 {
+		t.Fatalf("net NaN deletion decoded wrong: %g, want 2.5", got)
+	}
+	dback.Add(math.NaN())
+	if got := dback.Round(); got != 2.5 {
+		t.Fatalf("decoded NaN deficit did not cancel: %g, want 2.5", got)
+	}
+
+	// Ordinary states (multiplicities in {0,1}) keep the legacy presence
+	// encoding: byte-identical header, no extension.
+	p := NewSparse(0)
+	p.Add(math.NaN())
+	data, err = p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != 1 {
+		t.Fatalf("single NaN should use presence flags, got flags %#x", data[4])
+	}
+}
+
 func TestCodecRejectsCorruption(t *testing.T) {
 	s := sparseOf([]float64{1.5, -3e40, 0x1p-300}, 32)
 	data, err := s.MarshalBinary()
@@ -282,12 +343,16 @@ func TestCodecMalformedPayloads(t *testing.T) {
 		{"component-truncated-mid-pair", append(head('S', 32, 0), 1, 2)},
 		{"index-varint-overflow", append(head('S', 32, 0), append([]byte{1}, varintOverflow...)...)},
 		{"digit-varint-overflow", append(head('S', 32, 0), append([]byte{1, 2}, varintOverflow...)...)},
-		{"index-below-range", append(head('S', 32, 0), 1, 0xFF, 0x7F, 2)},        // idx = −8192
-		{"index-above-range", append(head('S', 32, 0), 1, 0xFE, 0x7F, 2)},        // idx = +8191
-		{"indices-not-ascending", append(head('S', 32, 0), 2, 4, 2, 4, 2)},       // idx 2 twice
-		{"digit-out-of-alpha-beta", append(head('S', 8, 0), 1, 2, 0x80, 0x04)},   // dig = 256 at W=8
-		{"trailing-bytes", append(head('S', 32, 0), 1, 2, 2, 0xEE)},              //
-		{"unknown-flags", append(head('S', 32, 0x08), 0)},                        //
+		{"index-below-range", append(head('S', 32, 0), 1, 0xFF, 0x7F, 2)},      // idx = −8192
+		{"index-above-range", append(head('S', 32, 0), 1, 0xFE, 0x7F, 2)},      // idx = +8191
+		{"indices-not-ascending", append(head('S', 32, 0), 2, 4, 2, 4, 2)},     // idx 2 twice
+		{"digit-out-of-alpha-beta", append(head('S', 8, 0), 1, 2, 0x80, 0x04)}, // dig = 256 at W=8
+		{"trailing-bytes", append(head('S', 32, 0), 1, 2, 2, 0xEE)},            //
+		{"unknown-flags", append(head('S', 32, 0x09), 0)},                      // bit 3 with presence bits set
+		{"unknown-flags-high", append(head('S', 32, 0x1F), 0)},                 //
+		{"extended-counts-truncated", head('S', 32, 0x08)},                     // bit 3 but no varints
+		{"extended-counts-partial", append(head('S', 32, 0x08), 2, 0)},         // 2 of 3 counts
+		{"extended-count-overflow", append(head('S', 32, 0x08), varintOverflow...)},
 		{"bad-width-low", append(head('S', 7, 0), 0)},                            //
 		{"bad-width-high", append(head('S', 33, 0), 0)},                          //
 		{"small-wrong-width", append(head('N', 16, 0), 0)},                       // Small is fixed W=32

@@ -112,6 +112,62 @@ func (d *Dense) addChunks(neg bool, m uint64, e int) {
 	}
 }
 
+// Sub deletes x from the accumulated sum exactly — the group inverse of
+// Add, made possible by the signed-digit representation: the digit updates
+// are the sign-flipped chunks of x, so a+x−x is bit-for-bit a. Non-finite
+// values are deleted from the out-of-band multiset (Sub(+Inf) after
+// Add(+Inf) restores the prior state; it is not Add(−Inf)).
+func (d *Dense) Sub(x float64) {
+	c := fpnum.Classify(x)
+	if c != fpnum.ClassFinite {
+		d.sp.unnote(c)
+		return
+	}
+	if d.nAdd >= d.maxAdd {
+		d.Regularize()
+	}
+	d.nAdd++
+	neg, m, e := fpnum.Decompose(x)
+	d.addChunks(!neg, m, e)
+}
+
+// SubSlice deletes every element of xs exactly.
+func (d *Dense) SubSlice(xs []float64) {
+	for _, x := range xs {
+		d.Sub(x)
+	}
+}
+
+// Neg negates the represented value in place: every digit flips sign (the
+// signed-digit string of −v) and the tracked infinity multiplicities swap.
+// A regularized accumulator stays regularized — the (α,β) range is
+// symmetric — and the lazy-add budget is unchanged.
+func (d *Dense) Neg() {
+	for i := range d.dig {
+		d.dig[i] = -d.dig[i]
+	}
+	d.sp.negate()
+}
+
+// AddNeg subtracts o's exact contents from d — the group inverse of Merge,
+// leaving o unmodified. Deleting a previously merged accumulator restores
+// the prior state bit-for-bit, including the out-of-band special
+// multiplicities (which are subtracted, not sign-swapped: AddNeg deletes
+// o's summands rather than merging their negations). Widths must match.
+func (d *Dense) AddNeg(o *Dense) {
+	if d.w != o.w {
+		panic("accum: width mismatch in AddNeg")
+	}
+	d.sp.unmerge(o.sp)
+	if d.nAdd+o.nAdd+1 > d.maxAdd {
+		d.Regularize() // o.nAdd ≤ maxAdd by construction, so this suffices
+	}
+	for i, v := range o.dig {
+		d.dig[i] -= v
+	}
+	d.nAdd += o.nAdd + 1
+}
+
 // addInt64 accumulates the exact value v·2^e. Each digit receives at most
 // R−1 regardless of the magnitude of v, so the lazy-add accounting of Add
 // applies unchanged.

@@ -26,17 +26,25 @@ func NewLarge() *Large {
 }
 
 // Add accumulates x exactly with a single bin update.
-func (l *Large) Add(x float64) {
+func (l *Large) Add(x float64) { l.apply(x, 1) }
+
+// Sub deletes x from the accumulated sum exactly — the group inverse of
+// Add, a single signed bin update. Non-finite values are deleted from the
+// out-of-band multiset (see Dense.Sub).
+func (l *Large) Sub(x float64) { l.apply(x, -1) }
+
+// apply adds (sign = +1) or deletes (sign = −1) x with one bin update.
+func (l *Large) apply(x float64, sign int64) {
 	b := math.Float64bits(x)
 	exp := int(b>>52) & 0x7FF
 	if exp == 0x7FF { // Inf or NaN
 		switch {
 		case b<<12 != 0:
-			l.sp.nan = true
+			l.sp.nan += sign
 		case b>>63 != 0:
-			l.sp.negInf = true
+			l.sp.negInf += sign
 		default:
-			l.sp.posInf = true
+			l.sp.posInf += sign
 		}
 		return
 	}
@@ -51,7 +59,7 @@ func (l *Large) Add(x float64) {
 	if b>>63 != 0 {
 		m = -m
 	}
-	l.bins[exp] += m
+	l.bins[exp] += sign * m
 }
 
 // AddSlice accumulates every element of xs exactly.
@@ -59,6 +67,34 @@ func (l *Large) AddSlice(xs []float64) {
 	for _, x := range xs {
 		l.Add(x)
 	}
+}
+
+// SubSlice deletes every element of xs exactly.
+func (l *Large) SubSlice(xs []float64) {
+	for _, x := range xs {
+		l.Sub(x)
+	}
+}
+
+// Neg negates the represented value in place: every exponent bin and every
+// digit of the dense base flips sign, and the infinity multiplicities swap.
+func (l *Large) Neg() {
+	for i := range l.bins {
+		l.bins[i] = -l.bins[i]
+	}
+	l.base.Neg()
+	l.sp.negate()
+}
+
+// AddNeg subtracts o's exact contents from l — the group inverse of Merge.
+// Like Merge it folds o's bins into o's base as a side effect (o's value is
+// unchanged). Special multiplicities are subtracted, not sign-swapped
+// (AddNeg deletes o's summands).
+func (l *Large) AddNeg(o *Large) {
+	l.sp.unmerge(o.sp)
+	o.fold()
+	l.fold()
+	l.base.AddNeg(o.base)
 }
 
 // fold drains every bin into the dense base accumulator.

@@ -41,6 +41,12 @@ func (s *Small) Add(x float64) {
 	}
 	s.nAdd++
 	neg, m, e := fpnum.Decompose(x)
+	s.addChunks(neg, m, e)
+}
+
+// addChunks splits the significand m·2^e into 32-bit chunks and adds them
+// (subtracts when neg) to the chunk array.
+func (s *Small) addChunks(neg bool, m uint64, e int) {
 	k := floorDiv(e, smallWidth)
 	off := uint(e - k*smallWidth)
 	lo := m << off
@@ -71,6 +77,54 @@ func (s *Small) AddSlice(xs []float64) {
 	for _, x := range xs {
 		s.Add(x)
 	}
+}
+
+// Sub deletes x from the accumulated sum exactly — the group inverse of
+// Add. Non-finite values are deleted from the out-of-band multiset (see
+// Dense.Sub).
+func (s *Small) Sub(x float64) {
+	c := fpnum.Classify(x)
+	if c != fpnum.ClassFinite {
+		s.sp.unnote(c)
+		return
+	}
+	if s.nAdd >= s.maxAdd {
+		s.Propagate()
+	}
+	s.nAdd++
+	neg, m, e := fpnum.Decompose(x)
+	s.addChunks(!neg, m, e)
+}
+
+// SubSlice deletes every element of xs exactly.
+func (s *Small) SubSlice(xs []float64) {
+	for _, x := range xs {
+		s.Sub(x)
+	}
+}
+
+// Neg negates the represented value in place: every chunk flips sign and
+// the infinity multiplicities swap. Chunks may leave the canonical
+// [0, 2^32) form; the next Propagate restores it.
+func (s *Small) Neg() {
+	for i := range s.dig {
+		s.dig[i] = -s.dig[i]
+	}
+	s.sp.negate()
+}
+
+// AddNeg subtracts o's exact contents from s — the group inverse of Merge,
+// leaving o unmodified. Special multiplicities are subtracted, not
+// sign-swapped (AddNeg deletes o's summands).
+func (s *Small) AddNeg(o *Small) {
+	s.sp.unmerge(o.sp)
+	if s.nAdd+o.nAdd+1 > s.maxAdd {
+		s.Propagate() // o.nAdd ≤ maxAdd by construction, so this suffices
+	}
+	for i, v := range o.dig {
+		s.dig[i] -= v
+	}
+	s.Propagate()
 }
 
 // Propagate performs the full sequential carry-propagation pass, leaving

@@ -29,8 +29,9 @@ func NewSparse(w uint) *Sparse {
 
 // FromFloat64 returns the sparse superaccumulator equivalent to the single
 // float64 x — the paper's step 2 conversion, splitting x into O(1)
-// components whose exponents are multiples of W.
+// components whose exponents are multiples of W (0 means DefaultWidth).
 func FromFloat64(x float64, w uint) *Sparse {
+	w = widthOrDefault(w)
 	s := NewSparse(w)
 	c := fpnum.Classify(x)
 	if c == fpnum.ClassZero {
@@ -160,6 +161,44 @@ func MergeSparse(a, b *Sparse) *Sparse {
 func (s *Sparse) Add(x float64) {
 	m := MergeSparse(s, FromFloat64(x, s.w))
 	s.idx, s.dig, s.sp = m.idx, m.dig, m.sp
+}
+
+// Sub deletes x from the accumulated sum exactly — the group inverse of
+// Add: it merges the sign-flipped components of x, so a+x−x is bit-for-bit
+// a. Non-finite values are deleted from the out-of-band multiset (see
+// Dense.Sub). It costs O(Len) per call, like Add.
+func (s *Sparse) Sub(x float64) {
+	c := fpnum.Classify(x)
+	if c != fpnum.ClassFinite {
+		s.sp.unnote(c)
+		return
+	}
+	m := MergeSparse(s, FromFloat64(-x, s.w)) // x is finite, so −x decomposes to the sign-flipped components
+	s.idx, s.dig = m.idx, m.dig
+}
+
+// Neg negates the represented value in place: every component flips sign
+// (staying in the symmetric (α,β) range) and the infinity multiplicities
+// swap.
+func (s *Sparse) Neg() {
+	for k := range s.dig {
+		s.dig[k] = -s.dig[k]
+	}
+	s.sp.negate()
+}
+
+// AddNeg subtracts o's exact contents from s — the group inverse of
+// MergeSparse, leaving o unmodified. Special multiplicities are subtracted,
+// not sign-swapped: AddNeg deletes o's summands rather than merging their
+// negations. Widths must match.
+func (s *Sparse) AddNeg(o *Sparse) {
+	t := &Sparse{w: o.w, idx: o.idx, dig: make([]int64, len(o.dig))}
+	for k, v := range o.dig {
+		t.dig[k] = -v
+	}
+	m := MergeSparse(s, t)
+	s.idx, s.dig = m.idx, m.dig
+	s.sp.unmerge(o.sp)
 }
 
 // Compact removes zero components (deactivating them). The represented

@@ -51,6 +51,12 @@ func (a *Window) Add(x float64) {
 	}
 	a.nAdd++
 	neg, m, e := fpnum.Decompose(x)
+	a.addChunks(neg, m, e)
+}
+
+// addChunks splits the significand m·2^e into W-bit digit-aligned chunks
+// and adds them (subtracts when neg) to the window, growing it as needed.
+func (a *Window) addChunks(neg bool, m uint64, e int) {
 	k := floorDiv(e, int(a.w))
 	off := uint(e - k*int(a.w))
 	lo := m << off
@@ -85,6 +91,65 @@ func (a *Window) AddSlice(xs []float64) {
 	for _, x := range xs {
 		a.Add(x)
 	}
+}
+
+// Sub deletes x from the accumulated sum exactly — the group inverse of
+// Add: the digit updates are the sign-flipped chunks of x. Non-finite
+// values are deleted from the out-of-band multiset (see Dense.Sub).
+func (a *Window) Sub(x float64) {
+	c := fpnum.Classify(x)
+	if c == fpnum.ClassZero {
+		return
+	}
+	if c != fpnum.ClassFinite {
+		a.sp.unnote(c)
+		return
+	}
+	if a.nAdd >= a.maxAdd {
+		a.regularize()
+	}
+	a.nAdd++
+	neg, m, e := fpnum.Decompose(x)
+	a.addChunks(!neg, m, e)
+}
+
+// SubSlice deletes every element of xs exactly.
+func (a *Window) SubSlice(xs []float64) {
+	for _, x := range xs {
+		a.Sub(x)
+	}
+}
+
+// Neg negates the represented value in place: every window digit flips
+// sign and the infinity multiplicities swap. The lazy-add budget is
+// unchanged (the digit bound is symmetric).
+func (a *Window) Neg() {
+	for i := range a.win {
+		a.win[i] = -a.win[i]
+	}
+	a.sp.negate()
+}
+
+// AddNeg subtracts o's exact contents from a — the group inverse of Merge,
+// leaving o unmodified. Special multiplicities are subtracted, not
+// sign-swapped (AddNeg deletes o's summands). Widths must match.
+func (a *Window) AddNeg(o *Window) {
+	if a.w != o.w {
+		panic("accum: width mismatch in Window.AddNeg")
+	}
+	a.sp.unmerge(o.sp)
+	if len(o.win) == 0 {
+		return
+	}
+	if a.nAdd+o.nAdd+1 > a.maxAdd {
+		a.regularize() // o.nAdd ≤ maxAdd by construction, so this suffices
+	}
+	a.ensure(o.base, o.base+len(o.win)-1)
+	off := o.base - a.base
+	for i, v := range o.win {
+		a.win[off+i] -= v
+	}
+	a.nAdd += o.nAdd + 1
 }
 
 // ensure grows the window to cover digit indices [lo, hi], padding a little

@@ -11,11 +11,12 @@ import (
 // EngineSparse have specialized parallel hot paths (pooled accumulators,
 // Lemma 1 tree merge); the others run through the generic engine path.
 const (
-	EngineDense    = "dense"
-	EngineSparse   = "sparse"
-	EngineAdaptive = "adaptive"
-	EngineSmall    = "small"
-	EngineLarge    = "large"
+	EngineDense     = "dense"
+	EngineSparse    = "sparse"
+	EngineAdaptive  = "adaptive"
+	EngineSmall     = "small"
+	EngineLarge     = "large"
+	EngineTruncated = "truncated"
 )
 
 func init() {
@@ -24,6 +25,9 @@ func init() {
 		CorrectlyRounded:      true,
 		DeterministicParallel: true,
 		Streaming:             true,
+		// The signed-digit representations are closed under negation, so
+		// every superaccumulator engine supports exact deletion.
+		Invertible: true,
 	}
 	engine.Register(engine.New(EngineDense,
 		"full-range (α,β)-regularized dense superaccumulator with carry-free Lemma 1 merges",
@@ -48,6 +52,11 @@ func init() {
 		engine.Caps{Faithful: true},
 		func(xs []float64) float64 { v, _ := SumAdaptive(xs, Options{}); return v },
 		nil))
+	engine.Register(engine.New(EngineTruncated,
+		"fixed-γ truncated sparse summation (Section 4) with certified exact fallback",
+		engine.Caps{Faithful: true},
+		SumTruncated,
+		nil))
 }
 
 // denseAcc adapts accum.Dense to the engine.Accumulator interface.
@@ -55,12 +64,16 @@ type denseAcc struct{ d *accum.Dense }
 
 func (a *denseAcc) Add(x float64)              { a.d.Add(x) }
 func (a *denseAcc) AddSlice(xs []float64)      { a.d.AddSlice(xs) }
+func (a *denseAcc) Sub(x float64)              { a.d.Sub(x) }
+func (a *denseAcc) SubSlice(xs []float64)      { a.d.SubSlice(xs) }
 func (a *denseAcc) Merge(o engine.Accumulator) { a.d.Merge(o.(*denseAcc).d) }
-func (a *denseAcc) Round() float64             { return a.d.Round() }
-func (a *denseAcc) Round32() float32           { return a.d.Round32() }
-func (a *denseAcc) Reset()                     { a.d.Reset() }
-func (a *denseAcc) Clone() engine.Accumulator  { return &denseAcc{d: a.d.Clone()} }
-func (a *denseAcc) Sigma() int                 { return a.d.ToSparse().Len() }
+
+func (a *denseAcc) SubAccumulator(o engine.Accumulator) { a.d.AddNeg(o.(*denseAcc).d) }
+func (a *denseAcc) Round() float64                      { return a.d.Round() }
+func (a *denseAcc) Round32() float32                    { return a.d.Round32() }
+func (a *denseAcc) Reset()                              { a.d.Reset() }
+func (a *denseAcc) Clone() engine.Accumulator           { return &denseAcc{d: a.d.Clone()} }
+func (a *denseAcc) Sigma() int                          { return a.d.ToSparse().Len() }
 
 // MarshalBinary implements the wire-partial codec for the dense engine.
 func (a *denseAcc) MarshalBinary() ([]byte, error) { return a.d.MarshalBinary() }
@@ -85,12 +98,16 @@ type windowAcc struct{ w *accum.Window }
 
 func (a *windowAcc) Add(x float64)              { a.w.Add(x) }
 func (a *windowAcc) AddSlice(xs []float64)      { a.w.AddSlice(xs) }
+func (a *windowAcc) Sub(x float64)              { a.w.Sub(x) }
+func (a *windowAcc) SubSlice(xs []float64)      { a.w.SubSlice(xs) }
 func (a *windowAcc) Merge(o engine.Accumulator) { a.w.Merge(o.(*windowAcc).w) }
-func (a *windowAcc) Round() float64             { return a.w.Round() }
-func (a *windowAcc) Round32() float32           { return a.w.Round32() }
-func (a *windowAcc) Reset()                     { a.w.Reset() }
-func (a *windowAcc) Clone() engine.Accumulator  { return &windowAcc{w: a.w.Clone()} }
-func (a *windowAcc) Sigma() int                 { return a.w.ToSparse().Len() }
+
+func (a *windowAcc) SubAccumulator(o engine.Accumulator) { a.w.AddNeg(o.(*windowAcc).w) }
+func (a *windowAcc) Round() float64                      { return a.w.Round() }
+func (a *windowAcc) Round32() float32                    { return a.w.Round32() }
+func (a *windowAcc) Reset()                              { a.w.Reset() }
+func (a *windowAcc) Clone() engine.Accumulator           { return &windowAcc{w: a.w.Clone()} }
+func (a *windowAcc) Sigma() int                          { return a.w.ToSparse().Len() }
 
 // MarshalBinary implements the wire-partial codec for the sparse engine.
 func (a *windowAcc) MarshalBinary() ([]byte, error) { return a.w.MarshalBinary() }
@@ -114,10 +131,14 @@ type smallAcc struct{ s *accum.Small }
 
 func (a *smallAcc) Add(x float64)              { a.s.Add(x) }
 func (a *smallAcc) AddSlice(xs []float64)      { a.s.AddSlice(xs) }
+func (a *smallAcc) Sub(x float64)              { a.s.Sub(x) }
+func (a *smallAcc) SubSlice(xs []float64)      { a.s.SubSlice(xs) }
 func (a *smallAcc) Merge(o engine.Accumulator) { a.s.Merge(o.(*smallAcc).s) }
-func (a *smallAcc) Round() float64             { return a.s.Round() }
-func (a *smallAcc) Reset()                     { a.s.Reset() }
-func (a *smallAcc) Clone() engine.Accumulator  { return &smallAcc{s: a.s.Clone()} }
+
+func (a *smallAcc) SubAccumulator(o engine.Accumulator) { a.s.AddNeg(o.(*smallAcc).s) }
+func (a *smallAcc) Round() float64                      { return a.s.Round() }
+func (a *smallAcc) Reset()                              { a.s.Reset() }
+func (a *smallAcc) Clone() engine.Accumulator           { return &smallAcc{s: a.s.Clone()} }
 
 // MarshalBinary implements the wire-partial codec for the small engine;
 // Small's chunk spacing is fixed, so no width enforcement is needed beyond
@@ -132,10 +153,14 @@ type largeAcc struct{ l *accum.Large }
 
 func (a *largeAcc) Add(x float64)              { a.l.Add(x) }
 func (a *largeAcc) AddSlice(xs []float64)      { a.l.AddSlice(xs) }
+func (a *largeAcc) Sub(x float64)              { a.l.Sub(x) }
+func (a *largeAcc) SubSlice(xs []float64)      { a.l.SubSlice(xs) }
 func (a *largeAcc) Merge(o engine.Accumulator) { a.l.Merge(o.(*largeAcc).l) }
-func (a *largeAcc) Round() float64             { return a.l.Round() }
-func (a *largeAcc) Reset()                     { a.l.Reset() }
-func (a *largeAcc) Clone() engine.Accumulator  { return &largeAcc{l: a.l.Clone()} }
+
+func (a *largeAcc) SubAccumulator(o engine.Accumulator) { a.l.AddNeg(o.(*largeAcc).l) }
+func (a *largeAcc) Round() float64                      { return a.l.Round() }
+func (a *largeAcc) Reset()                              { a.l.Reset() }
+func (a *largeAcc) Clone() engine.Accumulator           { return &largeAcc{l: a.l.Clone()} }
 
 // MarshalBinary implements the wire-partial codec for the large engine;
 // Large's base width is fixed, enforced by the accum codec.

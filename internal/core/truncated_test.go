@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"parsum/internal/gen"
+	"parsum/internal/oracle"
+)
+
+// TestSumTruncatedFaithful: the fixed-γ engine must produce a faithful
+// rounding on well-conditioned data (certified, one truncated pass) and on
+// hostile data that defeats the certificate (exact fallback) alike.
+func TestSumTruncatedFaithful(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":     nil,
+		"singleton": {0x1p-1074},
+		"well-conditioned": gen.New(gen.Config{
+			Dist: gen.CondOne, N: 50000, Delta: 30, Seed: 3}).Slice(),
+		"huge-kappa": gen.New(gen.Config{
+			Dist: gen.SumZero, N: 50000, Delta: 2000, Seed: 4}).Slice(),
+		"anderson": gen.New(gen.Config{
+			Dist: gen.Anderson, N: 50000, Delta: 1200, Seed: 5}).Slice(),
+	}
+	// Full-range alternating cancellation: σ exceeds truncGamma, so the
+	// truncated pass drops components and the certificate must arbitrate.
+	var full []float64
+	for e := -1074; e <= 1023; e += 3 {
+		full = append(full, math.Ldexp(1, e), -math.Ldexp(1, e))
+	}
+	full = append(full, 1.5, math.SmallestNonzeroFloat64)
+	cases["full-range"] = full
+
+	for name, xs := range cases {
+		got := SumTruncated(xs)
+		if !oracle.Faithful(xs, got) {
+			t.Errorf("%s: SumTruncated=%g is not faithful (oracle %g)", name, got, oracle.Sum(xs))
+		}
+	}
+	if got := SumTruncated(nil); math.Float64bits(got) != 0 {
+		t.Errorf("empty input: bits %x, want +0", math.Float64bits(got))
+	}
+}
+
+// TestSumTruncatedSpecials: IEEE semantics survive truncation.
+func TestSumTruncatedSpecials(t *testing.T) {
+	if got := SumTruncated([]float64{1, math.Inf(1)}); !math.IsInf(got, 1) {
+		t.Errorf("with +Inf: %g", got)
+	}
+	if got := SumTruncated([]float64{math.Inf(1), math.Inf(-1)}); !math.IsNaN(got) {
+		t.Errorf("opposing infinities: %g", got)
+	}
+	if got := SumTruncated([]float64{math.NaN(), 1}); !math.IsNaN(got) {
+		t.Errorf("NaN: %g", got)
+	}
+}

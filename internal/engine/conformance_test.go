@@ -96,7 +96,7 @@ func bitEqual(a, b float64) bool {
 // library ships are registered under their stable names.
 func TestRegistryPopulated(t *testing.T) {
 	want := []string{"adaptive", "demmel-hida", "dense", "ifastsum", "kahan",
-		"large", "naive", "neumaier", "pairwise", "small", "sparse"}
+		"large", "naive", "neumaier", "pairwise", "small", "sparse", "truncated"}
 	for _, name := range want {
 		if _, ok := engine.Get(name); !ok {
 			t.Errorf("engine %q not registered", name)

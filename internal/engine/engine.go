@@ -40,6 +40,13 @@ type Caps struct {
 	DeterministicParallel bool
 	// Streaming: NewAccumulator returns a usable streaming accumulator.
 	Streaming bool
+	// Invertible: the exact sum is a group, not just a monoid — the
+	// engine's accumulators implement Inverter, so deletion is as exact as
+	// insertion: a.Add(b); a.Sub(b) restores a's rounded bits exactly, and
+	// likewise for SubAccumulator. Implies Streaming. The signed-digit
+	// superaccumulator engines all qualify; no compensated scheme can
+	// (a correction term cannot be un-absorbed).
+	Invertible bool
 }
 
 // Accumulator is a streaming partial sum owned by one goroutine. Merge
@@ -53,6 +60,20 @@ type Accumulator interface {
 	Round() float64
 	Reset()
 	Clone() Accumulator
+}
+
+// Inverter is the exact-deletion surface of an Invertible engine's
+// accumulators. Sub deletes a previously added value (for non-finite
+// values this removes the summand from the tracked multiset — it is not
+// Add(−x)); SubAccumulator deletes everything a previously merged
+// accumulator holds. Both are exact: rounding still happens only at Round,
+// so add/sub histories that represent the same multiset round to the same
+// bits regardless of order or interleaving. SubAccumulator panics if o was
+// produced by a different engine, like Merge.
+type Inverter interface {
+	Sub(x float64)
+	SubSlice(xs []float64)
+	SubAccumulator(o Accumulator)
 }
 
 // Rounder32 is implemented by accumulators that can round their exact sum
@@ -116,6 +137,14 @@ func New(name, doc string, caps Caps, sum func([]float64) float64, acc func() Ac
 	}
 	if caps.Streaming != (acc != nil) {
 		panic(fmt.Sprintf("engine %q: Streaming flag (%v) disagrees with accumulator factory", name, caps.Streaming))
+	}
+	if caps.Invertible {
+		if acc == nil {
+			panic(fmt.Sprintf("engine %q: Invertible requires a streaming accumulator", name))
+		}
+		if _, ok := acc().(Inverter); !ok {
+			panic(fmt.Sprintf("engine %q: Invertible flag set but accumulator does not implement Inverter", name))
+		}
 	}
 	if caps.CorrectlyRounded {
 		caps.Faithful = true // correct rounding implies faithful rounding

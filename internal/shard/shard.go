@@ -73,6 +73,7 @@ type token struct{ idx uint32 }
 // construct with New.
 type Sharded struct {
 	eng    engine.Engine
+	inv    bool // engine declares Invertible: Sub/SubBatch are available
 	shards []slot
 
 	tokens sync.Pool     // *token — striped shard assignment
@@ -106,7 +107,7 @@ func New(opt Options) (*Sharded, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	s := &Sharded{eng: e, shards: make([]slot, n), base: e.NewAccumulator()}
+	s := &Sharded{eng: e, inv: e.Caps().Invertible, shards: make([]slot, n), base: e.NewAccumulator()}
 	for i := range s.shards {
 		s.shards[i].acc = e.NewAccumulator()
 	}
@@ -115,6 +116,18 @@ func New(opt Options) (*Sharded, error) {
 
 // Engine returns the name of the backing engine.
 func (s *Sharded) Engine() string { return s.eng.Name() }
+
+// Invertible reports whether the backing engine supports exact deletion
+// (Sub/SubBatch). All the superaccumulator engines do.
+func (s *Sharded) Invertible() bool { return s.inv }
+
+// checkInvertible panics when the backing engine cannot delete — mixing up
+// engines is a programming error, like Merge's engine-mismatch panic.
+func (s *Sharded) checkInvertible() {
+	if !s.inv {
+		panic(fmt.Sprintf("shard: engine %q is not invertible (no exact deletion)", s.eng.Name()))
+	}
+}
 
 // Shards returns the number of writer stripes.
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -162,17 +175,56 @@ func (s *Sharded) AddBatch(xs []float64) {
 	s.tokens.Put(t)
 }
 
+// Sub deletes x from the accumulated sum exactly, landing in one shard.
+// Deletion is as exact as insertion (the backing representation is a
+// group): any interleaving of adds and subs that leaves the same multiset
+// snapshots to the same bits. Panics when the engine is not Invertible.
+func (s *Sharded) Sub(x float64) {
+	s.checkInvertible()
+	t, _ := s.tokens.Get().(*token)
+	if t == nil {
+		t = &token{idx: s.rr.Add(1) % uint32(len(s.shards))}
+	}
+	sl := &s.shards[t.idx]
+	sl.mu.Lock()
+	sl.acc.(engine.Inverter).Sub(x)
+	sl.mu.Unlock()
+	s.tokens.Put(t)
+}
+
+// SubBatch deletes every element of xs exactly, amortizing the shard
+// handoff over the batch like AddBatch. Panics when the engine is not
+// Invertible.
+func (s *Sharded) SubBatch(xs []float64) {
+	s.checkInvertible()
+	if len(xs) == 0 {
+		return
+	}
+	t, _ := s.tokens.Get().(*token)
+	if t == nil {
+		t = &token{idx: s.rr.Add(1) % uint32(len(s.shards))}
+	}
+	sl := &s.shards[t.idx]
+	sl.mu.Lock()
+	sl.acc.(engine.Inverter).SubSlice(xs)
+	sl.mu.Unlock()
+	s.tokens.Put(t)
+}
+
 // Writer returns a handle pinned to one shard, assigned round-robin.
 // Dedicated long-lived writers that keep a Writer each avoid even the
 // token-pool hop of Sharded.Add; up to ⌈writers/shards⌉ writers share a
 // stripe (and its lock).
 func (s *Sharded) Writer() *Writer {
-	return &Writer{sl: &s.shards[s.rr.Add(1)%uint32(len(s.shards))]}
+	return &Writer{s: s, sl: &s.shards[s.rr.Add(1)%uint32(len(s.shards))]}
 }
 
 // Writer is a shard-pinned ingestion handle; safe for concurrent use,
 // though its point is one goroutine owning it.
-type Writer struct{ sl *slot }
+type Writer struct {
+	s  *Sharded
+	sl *slot
+}
 
 // Add accumulates x exactly into the writer's shard.
 func (w *Writer) Add(x float64) {
@@ -185,6 +237,24 @@ func (w *Writer) Add(x float64) {
 func (w *Writer) AddBatch(xs []float64) {
 	w.sl.mu.Lock()
 	w.sl.acc.AddSlice(xs)
+	w.sl.mu.Unlock()
+}
+
+// Sub deletes x exactly from the writer's shard (see Sharded.Sub). Panics
+// when the engine is not Invertible.
+func (w *Writer) Sub(x float64) {
+	w.s.checkInvertible()
+	w.sl.mu.Lock()
+	w.sl.acc.(engine.Inverter).Sub(x)
+	w.sl.mu.Unlock()
+}
+
+// SubBatch deletes every element of xs exactly from the writer's shard.
+// Panics when the engine is not Invertible.
+func (w *Writer) SubBatch(xs []float64) {
+	w.s.checkInvertible()
+	w.sl.mu.Lock()
+	w.sl.acc.(engine.Inverter).SubSlice(xs)
 	w.sl.mu.Unlock()
 }
 

@@ -1,0 +1,255 @@
+// Package stream implements exact sliding-window aggregation on top of
+// the invertible summation engines: moving sums and means over the last k
+// buckets of a value stream, with O(1) amortized cost per bucket advance
+// and results that are bit-identical to re-summing the live window from
+// scratch — for any slot count, eviction order, or snapshot timing.
+//
+// No compensated scheme can do this. Kahan/Neumaier-style summaries are
+// monoids: a value can be folded in but never taken back out, so a sliding
+// window over them must either re-sum the window on every eviction (O(w)
+// per advance) or accept drift that depends on the eviction schedule. The
+// paper's (α,β)-regularized signed-digit superaccumulator is closed under
+// negation — the exact sum is a group — so Window evicts a bucket by
+// merging its group inverse into the running total (engine.Inverter's
+// SubAccumulator): one exact O(σ) operation, after which the total is the
+// same group element as the fold of the surviving buckets, and therefore
+// rounds to the same bits. Rounding still happens only when a sum is
+// requested.
+//
+// All methods are safe for concurrent use; a single mutex serializes
+// operations, which keeps every snapshot a linearization point (the sum it
+// returns is the exact rounded sum of precisely the operations that
+// completed before it).
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"parsum/internal/core"
+	"parsum/internal/engine"
+)
+
+// DefaultSlots is the slot-ring size used when Options.Slots is 0.
+const DefaultSlots = 16
+
+// Options configures a Window; the zero value is ready to use (dense
+// engine, DefaultSlots buckets).
+type Options struct {
+	// Engine names the summation engine backing every bucket and the
+	// running total; "" means dense. The engine must declare Streaming,
+	// DeterministicParallel, and Invertible — exact eviction is exactly
+	// the Invertible contract.
+	Engine string
+	// Slots is the number of buckets the window covers; 0 means
+	// DefaultSlots. The window spans the current bucket plus the Slots−1
+	// most recently closed ones.
+	Slots int
+}
+
+// Window is a sliding window of the last Slots buckets of a value stream.
+// Values accumulate into the current bucket; Advance closes it, opens a
+// fresh one, and evicts the oldest bucket exactly. The zero value is not
+// usable; construct with New.
+type Window struct {
+	mu     sync.Mutex
+	eng    engine.Engine
+	slots  []engine.Accumulator // ring of per-bucket accumulators
+	counts []int64              // per-bucket value counts (for Mean)
+	cur    int                  // ring index of the current bucket
+	total  engine.Accumulator   // exact sum of every live bucket
+	count  int64                // values in the live window
+	adv    uint64               // total Advance calls
+}
+
+// New returns an empty Window. It errors when the engine is unknown or
+// lacks the Streaming, DeterministicParallel, and Invertible capabilities
+// exact sliding-window aggregation requires.
+func New(opt Options) (*Window, error) {
+	name := opt.Engine
+	if name == "" {
+		name = core.EngineDense
+	}
+	e, ok := engine.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown engine %q (registered: %v)", name, engine.Names())
+	}
+	if caps := e.Caps(); !caps.Streaming || !caps.DeterministicParallel || !caps.Invertible {
+		return nil, fmt.Errorf("stream: engine %q cannot back a sliding window (needs Streaming, DeterministicParallel and Invertible; has Streaming=%v DeterministicParallel=%v Invertible=%v)",
+			name, caps.Streaming, caps.DeterministicParallel, caps.Invertible)
+	}
+	n := opt.Slots
+	if n == 0 {
+		n = DefaultSlots
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("stream: slot count %d < 1", n)
+	}
+	w := &Window{
+		eng:    e,
+		slots:  make([]engine.Accumulator, n),
+		counts: make([]int64, n),
+		total:  e.NewAccumulator(),
+	}
+	for i := range w.slots {
+		w.slots[i] = e.NewAccumulator()
+	}
+	return w, nil
+}
+
+// Engine returns the registry name of the backing engine.
+func (w *Window) Engine() string { return w.eng.Name() }
+
+// Slots returns the number of buckets the window covers.
+func (w *Window) Slots() int { return len(w.slots) }
+
+// Add accumulates x exactly into the current bucket (and the running
+// total).
+func (w *Window) Add(x float64) {
+	w.mu.Lock()
+	w.slots[w.cur].Add(x)
+	w.total.Add(x)
+	w.counts[w.cur]++
+	w.count++
+	w.mu.Unlock()
+}
+
+// AddBatch accumulates every element of xs exactly into the current
+// bucket.
+func (w *Window) AddBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.slots[w.cur].AddSlice(xs)
+	w.total.AddSlice(xs)
+	w.counts[w.cur] += int64(len(xs))
+	w.count += int64(len(xs))
+	w.mu.Unlock()
+}
+
+// Sub deletes x exactly from the current bucket — a retraction of a value
+// added since the last Advance. Deletion is as exact as insertion.
+func (w *Window) Sub(x float64) {
+	w.mu.Lock()
+	w.slots[w.cur].(engine.Inverter).Sub(x)
+	w.total.(engine.Inverter).Sub(x)
+	w.counts[w.cur]--
+	w.count--
+	w.mu.Unlock()
+}
+
+// SubBatch deletes every element of xs exactly from the current bucket.
+func (w *Window) SubBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.slots[w.cur].(engine.Inverter).SubSlice(xs)
+	w.total.(engine.Inverter).SubSlice(xs)
+	w.counts[w.cur] -= int64(len(xs))
+	w.count -= int64(len(xs))
+	w.mu.Unlock()
+}
+
+// Advance closes the current bucket and opens the next one, evicting the
+// bucket that falls off the back of the window: its exact contents are
+// deleted from the running total through the engine's group inverse
+// (SubAccumulator) and its accumulator is recycled as the new current
+// bucket. The cost is one exact subtraction and a reset — O(1) bucket
+// operations regardless of how many values the window holds — and the
+// total afterwards is the same group element as the fold of the surviving
+// buckets, so every later Sum is bit-identical to re-summing the live
+// window from scratch.
+func (w *Window) Advance() {
+	w.mu.Lock()
+	w.cur = (w.cur + 1) % len(w.slots)
+	expired := w.slots[w.cur]
+	w.total.(engine.Inverter).SubAccumulator(expired)
+	w.count -= w.counts[w.cur]
+	expired.Reset()
+	w.counts[w.cur] = 0
+	w.adv++
+	w.mu.Unlock()
+}
+
+// Advances returns the number of Advance calls so far.
+func (w *Window) Advances() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.adv
+}
+
+// Count returns the number of values in the live window (additions minus
+// deletions and evictions).
+func (w *Window) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Sum returns the correctly rounded exact sum of the live window. The
+// result is bit-identical to accumulating the window's surviving values
+// from scratch in a fresh accumulator, regardless of how many additions,
+// retractions, and evictions produced the window.
+func (w *Window) Sum() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total.Round()
+}
+
+// Mean returns the exactly-rounded moving average: the correctly rounded
+// exact sum of the live window divided by its count (one rounding for the
+// sum, one for the division — the same two roundings computing a mean of
+// the raw values would cost). It returns NaN for an empty window.
+func (w *Window) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.count == 0 {
+		return math.NaN()
+	}
+	return w.total.Round() / float64(w.count)
+}
+
+// Stats returns the live window's rounded sum and count as one atomic
+// observation, so a mean computed from them is consistent.
+func (w *Window) Stats() (sum float64, count int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total.Round(), w.count
+}
+
+// Reset empties every bucket and the running total; the window remains
+// usable.
+func (w *Window) Reset() {
+	w.mu.Lock()
+	for i := range w.slots {
+		w.slots[i].Reset()
+		w.counts[i] = 0
+	}
+	w.total.Reset()
+	w.count = 0
+	w.cur = 0
+	w.adv = 0
+	w.mu.Unlock()
+}
+
+// Resum recomputes the window sum from scratch: it folds clones of the
+// live buckets through the log-depth Lemma 1 merge tree (core.MergeTree)
+// and rounds once, touching neither the buckets nor the running total.
+// It is the from-scratch oracle the determinism claim is verified against
+// — Sum() must (and does) return these bits — exported so benchmarks and
+// integration tests can check cells without keeping the raw values around.
+func (w *Window) Resum() float64 {
+	w.mu.Lock()
+	parts := make([]engine.Accumulator, len(w.slots))
+	for i, s := range w.slots {
+		parts[i] = s.Clone()
+	}
+	w.mu.Unlock()
+	return core.MergeTree(parts, func(dst, src engine.Accumulator) engine.Accumulator {
+		dst.Merge(src)
+		return dst
+	}).Round()
+}

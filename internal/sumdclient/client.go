@@ -87,12 +87,26 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 // AddBatch ships xs to the service as raw little-endian float64s — exact
 // for every value, including non-finite ones.
 func (c *Client) AddBatch(ctx context.Context, xs []float64) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/add", "application/octet-stream", packFloats(xs))
+	return err
+}
+
+// SubBatch deletes xs from the service exactly — the inverse of AddBatch.
+// The service's sum after any add/sub history is bit-identical to summing
+// the surviving multiset from scratch (exact for every value, including
+// non-finite ones: the deletion happens in the service's in-memory group
+// representation).
+func (c *Client) SubBatch(ctx context.Context, xs []float64) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/sub", "application/octet-stream", packFloats(xs))
+	return err
+}
+
+func packFloats(xs []float64) []byte {
 	body := make([]byte, 8*len(xs))
 	for i, x := range xs {
 		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(x))
 	}
-	_, err := c.do(ctx, http.MethodPost, "/v1/add", "application/octet-stream", body)
-	return err
+	return body
 }
 
 // PushPartial merges a serialized wire partial (Accumulator.MarshalBinary
@@ -162,6 +176,16 @@ func (co *Combiner) Add(x float64) { co.acc.Add(x) }
 
 // AddSlice accumulates every element of xs exactly into the local partial.
 func (co *Combiner) AddSlice(xs []float64) { co.acc.AddSlice(xs) }
+
+// Sub deletes x exactly from the local partial — retractions batch into
+// the same combiner as insertions and flush in one hop. Exact for every
+// value including non-finite ones: the partial codec carries signed
+// special multiplicities, so a net retraction of a NaN or infinity
+// survives the flush and cancels on the service.
+func (co *Combiner) Sub(x float64) { co.acc.Sub(x) }
+
+// SubSlice deletes every element of xs exactly from the local partial.
+func (co *Combiner) SubSlice(xs []float64) { co.acc.SubSlice(xs) }
 
 // Flush serializes the local partial, pushes it to the service, and on
 // success resets the local accumulator so the Combiner can keep

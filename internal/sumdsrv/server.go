@@ -13,6 +13,10 @@
 //
 //	POST /v1/add      raw little-endian float64s (application/octet-stream)
 //	                  or JSON {"values":[...]} — ingest values directly
+//	POST /v1/sub      same body formats — delete previously ingested values
+//	                  exactly (the superaccumulator group inverse); the
+//	                  served sum is bit-identical to summing the surviving
+//	                  multiset from scratch
 //	POST /v1/partial  a wire partial (Accumulator.MarshalBinary /
 //	                  Sharded.SnapshotBytes) — merge a remote partial
 //	GET  /v1/partial  the service's own state as a wire partial, so sumd
@@ -66,10 +70,12 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	values   atomic.Int64 // raw float64s ingested via /v1/add
-	batches  atomic.Int64 // /v1/add requests
-	partials atomic.Int64 // wire partials merged via POST /v1/partial
-	sums     atomic.Int64 // /v1/sum and GET /v1/partial responses
+	values     atomic.Int64 // raw float64s ingested via /v1/add
+	batches    atomic.Int64 // /v1/add requests
+	removed    atomic.Int64 // raw float64s deleted via /v1/sub
+	subBatches atomic.Int64 // /v1/sub requests
+	partials   atomic.Int64 // wire partials merged via POST /v1/partial
+	sums       atomic.Int64 // /v1/sum and GET /v1/partial responses
 }
 
 // New returns a Server backed by a fresh Sharded accumulator. It errors
@@ -86,6 +92,7 @@ func New(opt Options) (*Server, error) {
 	}
 	s := &Server{sh: sh, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
+	s.mux.HandleFunc("POST /v1/sub", s.handleSub)
 	s.mux.HandleFunc("POST /v1/partial", s.handlePushPartial)
 	s.mux.HandleFunc("GET /v1/partial", s.handleGetPartial)
 	s.mux.HandleFunc("GET /v1/sum", s.handleSum)
@@ -120,12 +127,14 @@ type StatsResponse struct {
 	Shards        int    `json:"shards"`
 	Values        int64  `json:"values"`
 	Batches       int64  `json:"batches"`
+	Removed       int64  `json:"removed"`
+	SubBatches    int64  `json:"sub_batches"`
 	Partials      int64  `json:"partials"`
 	SumsServed    int64  `json:"sums_served"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
 }
 
-// AddRequest is the JSON form of POST /v1/add. The binary form
+// AddRequest is the JSON form of POST /v1/add and /v1/sub. The binary form
 // (application/octet-stream, raw little-endian float64s) is preferred for
 // bulk and is the only way to ship non-finite values.
 type AddRequest struct {
@@ -135,6 +144,11 @@ type AddRequest struct {
 // AddResponse is the POST /v1/add payload.
 type AddResponse struct {
 	Added int `json:"added"`
+}
+
+// SubResponse is the POST /v1/sub payload.
+type SubResponse struct {
+	Removed int `json:"removed"`
 }
 
 type errorResponse struct {
@@ -167,48 +181,78 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	return body, true
 }
 
-func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
-	body, ok := readBody(w, r)
-	if !ok {
-		return
-	}
+// decodeBatch parses the shared /v1/add and /v1/sub body formats: raw
+// little-endian float64s (application/octet-stream) or a single JSON
+// {"values":[...]} document. It writes the error response itself and
+// reports ok = false on malformed payloads.
+func decodeBatch(w http.ResponseWriter, r *http.Request, body []byte) (xs []float64, ok bool) {
 	// Content-Type may carry parameters (RFC 9110); route on the media
 	// type alone.
 	mediaType := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(mediaType); err == nil {
 		mediaType = mt
 	}
-	var xs []float64
 	if mediaType == "application/octet-stream" {
 		if len(body)%8 != 0 {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("binary batch length %d is not a multiple of 8", len(body)))
-			return
+			return nil, false
 		}
 		xs = make([]float64, len(body)/8)
 		for i := range xs {
 			xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
 		}
-	} else {
-		var req AddRequest
-		dec := json.NewDecoder(bytes.NewReader(body))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding JSON batch: %w", err))
-			return
-		}
-		// A batch is one JSON value; trailing content would otherwise be
-		// silently dropped data.
-		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-			writeError(w, http.StatusBadRequest, errors.New("trailing data after JSON batch"))
-			return
-		}
-		xs = req.Values
+		return xs, true
+	}
+	var req AddRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding JSON batch: %w", err))
+		return nil, false
+	}
+	// A batch is one JSON value; trailing content would otherwise be
+	// silently dropped data.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeError(w, http.StatusBadRequest, errors.New("trailing data after JSON batch"))
+		return nil, false
+	}
+	return req.Values, true
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	xs, ok := decodeBatch(w, r, body)
+	if !ok {
+		return
 	}
 	s.sh.AddBatch(xs)
 	s.batches.Add(1)
 	s.values.Add(int64(len(xs)))
 	writeJSON(w, http.StatusOK, AddResponse{Added: len(xs)})
+}
+
+func (s *Server) handleSub(w http.ResponseWriter, r *http.Request) {
+	if !s.sh.Invertible() {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("engine %q does not support exact deletion", s.sh.Engine()))
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	xs, ok := decodeBatch(w, r, body)
+	if !ok {
+		return
+	}
+	s.sh.SubBatch(xs)
+	s.subBatches.Add(1)
+	s.removed.Add(int64(len(xs)))
+	writeJSON(w, http.StatusOK, SubResponse{Removed: len(xs)})
 }
 
 func (s *Server) handlePushPartial(w http.ResponseWriter, r *http.Request) {
@@ -266,6 +310,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:        s.sh.NumShards(),
 		Values:        s.values.Load(),
 		Batches:       s.batches.Load(),
+		Removed:       s.removed.Load(),
+		SubBatches:    s.subBatches.Load(),
 		Partials:      s.partials.Load(),
 		SumsServed:    s.sums.Load(),
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),

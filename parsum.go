@@ -104,6 +104,10 @@ type EngineInfo struct {
 	DeterministicParallel bool
 	// Streaming: NewAccumulatorEngine works for this engine.
 	Streaming bool
+	// Invertible: the exact sum is a group, so deletion is as exact as
+	// insertion — Accumulator.Sub/SubAccumulator and Sharded.Sub/SubBatch
+	// work for this engine.
+	Invertible bool
 }
 
 // Engines lists every registered summation engine, sorted by name. Any
@@ -122,6 +126,7 @@ func Engines() []EngineInfo {
 			Faithful:              c.Faithful,
 			DeterministicParallel: c.DeterministicParallel,
 			Streaming:             c.Streaming,
+			Invertible:            c.Invertible,
 		})
 	}
 	return out
@@ -199,6 +204,49 @@ func (a *Accumulator) Add(x float64) { a.a.Add(x) }
 // AddSlice accumulates every element of xs exactly.
 func (a *Accumulator) AddSlice(xs []float64) { a.a.AddSlice(xs) }
 
+// Invertible reports whether the backing engine supports exact deletion
+// (Sub, SubSlice, SubAccumulator). The superaccumulator engines all do:
+// their signed-digit representation is closed under negation, so the exact
+// sum is a group, not just a monoid.
+func (a *Accumulator) Invertible() bool {
+	_, ok := a.a.(engine.Inverter)
+	return ok
+}
+
+// inverter returns the deletion surface, panicking for engines that have
+// none (a programming error, like Merge's engine mismatch).
+func (a *Accumulator) inverter() engine.Inverter {
+	inv, ok := a.a.(engine.Inverter)
+	if !ok {
+		panic(fmt.Sprintf("parsum: engine %q does not support exact deletion (see Engines() for Invertible engines)", a.name))
+	}
+	return inv
+}
+
+// Sub deletes x from the accumulated sum exactly — the inverse of Add.
+// Because the representation is exact and rounding happens only at Round,
+// a.Add(x); a.Sub(x) restores a's rounded bits exactly, for any x and any
+// interleaving with other operations. Deleting a non-finite value removes
+// it from the tracked multiset (Sub(+Inf) undoes Add(+Inf); it is not
+// Add(-Inf)). Panics when the engine is not Invertible.
+func (a *Accumulator) Sub(x float64) { a.inverter().Sub(x) }
+
+// SubSlice deletes every element of xs exactly. Panics when the engine is
+// not Invertible.
+func (a *Accumulator) SubSlice(xs []float64) { a.inverter().SubSlice(xs) }
+
+// SubAccumulator deletes the exact contents of o from a — the inverse of
+// Merge; o's value is unchanged. After a.Merge(o); a.SubAccumulator(o),
+// a's rounded bits are exactly what they were before the Merge. Both sides
+// must come from the same engine; mixing engines panics, as does a
+// non-Invertible engine.
+func (a *Accumulator) SubAccumulator(o *Accumulator) {
+	if a.name != o.name {
+		panic(fmt.Sprintf("parsum: SubAccumulator of %q accumulator with %q accumulator", a.name, o.name))
+	}
+	a.inverter().SubAccumulator(o.a)
+}
+
 // Merge adds the exact contents of o into a; o's value is unchanged.
 // Accumulators built from disjoint data merge to exactly the accumulator
 // of the combined data, in any order. Both sides must come from the same
@@ -261,6 +309,20 @@ func (s *Sharded) Add(x float64) { s.s.Add(x) }
 // handoff over the batch — the high-throughput ingestion call.
 func (s *Sharded) AddBatch(xs []float64) { s.s.AddBatch(xs) }
 
+// Invertible reports whether the backing engine supports exact deletion
+// (Sub/SubBatch).
+func (s *Sharded) Invertible() bool { return s.s.Invertible() }
+
+// Sub deletes x from the accumulated sum exactly. Deletion is as exact as
+// insertion, so any interleaving of adds and subs that leaves the same
+// multiset snapshots to the same bits. Panics when the engine is not
+// Invertible.
+func (s *Sharded) Sub(x float64) { s.s.Sub(x) }
+
+// SubBatch deletes every element of xs exactly, amortizing the shard
+// handoff over the batch. Panics when the engine is not Invertible.
+func (s *Sharded) SubBatch(xs []float64) { s.s.SubBatch(xs) }
+
 // Sum returns the correctly rounded exact sum of everything ingested so
 // far; ingestion may continue concurrently.
 func (s *Sharded) Sum() float64 { return s.s.Sum() }
@@ -306,6 +368,14 @@ func (w *ShardedWriter) Add(x float64) { w.w.Add(x) }
 
 // AddBatch accumulates every element of xs exactly into the writer's shard.
 func (w *ShardedWriter) AddBatch(xs []float64) { w.w.AddBatch(xs) }
+
+// Sub deletes x exactly from the writer's shard. Panics when the engine is
+// not Invertible.
+func (w *ShardedWriter) Sub(x float64) { w.w.Sub(x) }
+
+// SubBatch deletes every element of xs exactly from the writer's shard.
+// Panics when the engine is not Invertible.
+func (w *ShardedWriter) SubBatch(xs []float64) { w.w.SubBatch(xs) }
 
 // MRConfig configures MapReduceSum; see the mapreduce package for field
 // documentation. The zero value models a single-worker cluster.
