@@ -242,6 +242,57 @@ func BenchmarkSequential(b *testing.B) {
 	}
 }
 
+// BenchmarkAddSlice measures the block-structured bulk accumulation path
+// per representation against the scalar per-element loop it replaced, on
+// a wide exponent distribution (general three-digit scatter) and a narrow
+// one (where Dense and Small take the exponent-window lane fast path).
+// The block/scalar pairs make each path's contribution individually
+// visible; see DESIGN.md §3d.
+func BenchmarkAddSlice(b *testing.B) {
+	const n = 1 << 16
+	type acc interface {
+		Add(float64)
+		AddSlice([]float64)
+		Reset()
+	}
+	dists := []struct {
+		name string
+		xs   []float64
+	}{
+		{"wide", dataset(gen.Random, n, 2000)},
+		{"narrow", dataset(gen.Random, n, 8)},
+	}
+	reps := []struct {
+		name string
+		mk   func() acc
+	}{
+		{"dense", func() acc { return accum.NewDense(0) }},
+		{"small", func() acc { return accum.NewSmall() }},
+		{"window", func() acc { return accum.NewWindow(0) }},
+	}
+	for _, rep := range reps {
+		for _, d := range dists {
+			a := rep.mk()
+			b.Run(fmt.Sprintf("%s/%s/block", rep.name, d.name), func(b *testing.B) {
+				b.SetBytes(8 * n)
+				for i := 0; i < b.N; i++ {
+					a.Reset()
+					a.AddSlice(d.xs)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/%s/scalar", rep.name, d.name), func(b *testing.B) {
+				b.SetBytes(8 * n)
+				for i := 0; i < b.N; i++ {
+					a.Reset()
+					for _, x := range d.xs {
+						a.Add(x)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkPublicAPI covers the exported surface.
 func BenchmarkPublicAPI(b *testing.B) {
 	xs := dataset(gen.Anderson, 1<<18, 1000)

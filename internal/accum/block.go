@@ -1,0 +1,251 @@
+package accum
+
+import (
+	"math"
+
+	"parsum/internal/fpnum"
+)
+
+// Block-structured bulk accumulation. The scalar Add path pays a full
+// per-float toll — a branchy classification, a Decompose call, a floor
+// division to find the digit index, and a data-dependent carry loop with a
+// bounds check per digit. The paper's Lemma 1 lazy-carry design exists
+// precisely so the per-addition work can collapse to a few straight-line
+// integer operations; this file implements that collapse for bulk inserts:
+//
+//  1. A whole block of blockLen floats is classified in one branch-free
+//     prescan over the raw IEEE bits: non-finite summands divert the block
+//     to the scalar out-of-line path (they are rare and carry out-of-band
+//     state), zeros are detected so an all-zero block costs nothing, and
+//     the biased-exponent range of the nonzero elements is computed for
+//     the exponent-window fast path.
+//  2. Decomposition is inlined and branch-free: the implicit bit and the
+//     subnormal exponent pinning are arithmetic on the biased exponent
+//     field, and the floorDiv of the scalar path becomes an arithmetic
+//     shift (digit width 32 = 2^5, the canonical width every engine runs).
+//  3. A 53-bit significand shifted by at most W−1 spans at most
+//     ⌈(52+W)/W⌉ = 3 digits at W = 32, so the digit-carry loop becomes a
+//     fixed three-element scatter with a single bounds-check hint per
+//     float, signed through a ±1 multiplier instead of duplicated
+//     add/subtract loops.
+//  4. When a block's nonzero exponents fall within laneSpread of each
+//     other, the significands accumulate into three int64 lanes held in
+//     registers and are flushed into the superaccumulator once per block —
+//     regularization bookkeeping is amortized per block, not per float.
+//
+// Exactness is untouched: every operation below is integer arithmetic on
+// the same digit decomposition the scalar path produces, so the block and
+// scalar paths represent bit-identical exact sums (FuzzBlockVsScalar and
+// the block differential tests pin this, specials and denormals included).
+
+const (
+	// blockWidth is the digit width the block paths specialize for: 2^5,
+	// so digit indexing is a shift, and wide enough that a shifted
+	// significand spans exactly three digits. It is accum.DefaultWidth —
+	// the width every registered engine runs at; other widths take the
+	// scalar path.
+	blockWidth = 32
+	// blockLen is the number of floats per block. Large enough to amortize
+	// the prescan and budget check, small enough that a block's int64
+	// lanes cannot overflow (each element contributes < 2^32 per lane, so
+	// any blockLen < 2^31 is safe) and the block stays cache-resident.
+	blockLen = 256
+	// laneSpread is the maximum biased-exponent spread (≈ log2 of the
+	// dynamic range) a block may have for the exponent-window fast path:
+	// the anchor digit is exponent-aligned downward by up to 31 bits, and
+	// 53 + 31 + laneSpread must fit the 96 bits three 32-bit lanes hold.
+	laneSpread = 12
+
+	expField = 0x7FF                       // biased-exponent field mask
+	fracBits = 1<<52 - 1                   // stored-significand field mask
+	expBias  = fpnum.Bias + fpnum.MantBits // e = biased − expBias for normals
+)
+
+// scalarAdder is the per-element Add/Sub surface every representation
+// already has; the block dispatchers divert special-containing blocks
+// through it, so the scalar path stays the single oracle for out-of-band
+// state.
+type scalarAdder interface {
+	Add(x float64)
+	Sub(x float64)
+}
+
+// scalarBlock applies a block through the scalar Add/Sub oracle path.
+func scalarBlock(a scalarAdder, blk []float64, dir int64) {
+	if dir < 0 {
+		for _, x := range blk {
+			a.Sub(x)
+		}
+		return
+	}
+	for _, x := range blk {
+		a.Add(x)
+	}
+}
+
+// fullRange32 is the seam the shared block dispatcher drives: a
+// full-range accumulator at the canonical 32-bit digit spacing (Dense at
+// blockWidth, Small). The methods are one-line adapters, called once per
+// block, so the interface costs nothing measurable on the hot path.
+type fullRange32 interface {
+	scalarAdder
+	// digits32 exposes the digit string and the index of its first digit.
+	digits32() (dig []int64, minIdx int)
+	// lazyBudget exposes the lazy-add counter and its bound.
+	lazyBudget() (nAdd *int, maxAdd int)
+	// normalize restores the digit invariant (Regularize / Propagate).
+	normalize()
+	// flushInt64 accumulates the exact value v·2^e, charging the budget.
+	flushInt64(v int64, e int)
+}
+
+// addBlocks32 is the bulk dispatcher behind AddSlice (dir = +1) and
+// SubSlice (dir = −1) for the full-range representations: it walks xs in
+// blocks of blockLen, prescans each block once, and routes it to the
+// cheapest exact path — skip (all zeros), int64 lanes (narrow exponent
+// window, flushed once per block), the unrolled scatter (general finite
+// block, budget charged once for the whole block), or the scalar
+// out-of-line path (a non-finite summand is present).
+func addBlocks32(a fullRange32, xs []float64, dir int64) {
+	for len(xs) > 0 {
+		n := min(len(xs), blockLen)
+		blk := xs[:n]
+		xs = xs[n:]
+		sc := prescanBlock(blk)
+		switch {
+		case sc.special:
+			// Non-finite summands are rare and carry out-of-band state;
+			// divert the whole block to the scalar oracle path.
+			scalarBlock(a, blk, dir)
+		case sc.allZero:
+			// Zeros contribute nothing and charge nothing.
+		case sc.bmax-sc.bmin <= laneSpread:
+			eb := ((sc.bmin - expBias) >> 5) << 5
+			l0, l1, l2 := lanes32(blk, eb, dir)
+			a.flushInt64(l0, eb)
+			a.flushInt64(l1, eb+32)
+			a.flushInt64(l2, eb+64)
+		default:
+			nAdd, maxAdd := a.lazyBudget()
+			if *nAdd+n > maxAdd {
+				a.normalize()
+			}
+			*nAdd += n
+			dig, minIdx := a.digits32()
+			scatter32(dig, minIdx, blk, dir)
+		}
+	}
+}
+
+// blockScan is the result of one branch-free prescan over a block.
+type blockScan struct {
+	special bool // at least one ±Inf or NaN present
+	allZero bool // every element is ±0
+	bmin    int  // min effective biased exponent over nonzero elements
+	bmax    int  // max effective biased exponent over nonzero elements
+}
+
+// prescanBlock classifies blk in one pass over the raw float bits:
+// specials are detected by the saturated exponent field, zeros by the
+// sign-cleared bits — both as branch-free mask arithmetic — and the
+// min/max fold excludes zeros (a zero contributes nothing, so it must not
+// drag the exponent window down). The min/max updates are the loop's only
+// data-dependent branches; they are deliberately branches rather than
+// mask arithmetic because they fire at most a handful of times per block
+// (predicted nearly free), whereas a masked min/max would put its
+// dependency chain on every element. Effective biased exponents are
+// clamped to ≥ 1, matching the subnormal exponent pinning of Decompose.
+func prescanBlock(blk []float64) blockScan {
+	var orSpec, orNZ uint64
+	minB, maxB := expField, 0
+	for _, x := range blk {
+		b := math.Float64bits(x)
+		be := int(b>>52) & expField
+		orSpec |= uint64(be+1) >> 11 // 1 iff be == 0x7FF
+		u := b << 1                  // sign cleared: 0 iff x is ±0
+		nz := (u | -u) >> 63         // 1 iff x != ±0
+		orNZ |= nz
+		beMin := be | int(nz-1)&expField // zeros read as 0x7FF for the min
+		if beMin < minB {
+			minB = beMin
+		}
+		if be > maxB {
+			maxB = be
+		}
+	}
+	return blockScan{
+		special: orSpec != 0,
+		allZero: orNZ == 0,
+		bmin:    max(minB, 1),
+		bmax:    max(maxB, 1),
+	}
+}
+
+// scatter32 adds (dir = +1) or deletes (dir = −1) every element of a
+// special-free block into the full-range width-32 digit string dig whose
+// first element has digit index minIdx. A full-range accumulator covers
+// every digit a finite double can touch (a zero's index −34 is minIdx
+// itself), so the window form's clamp never fires.
+func scatter32(dig []int64, minIdx int, blk []float64, dir int64) {
+	scatterWin32(dig, minIdx, minIdx, blk, dir)
+}
+
+// scatterWin32 adds (dir = +1) or deletes (dir = −1) every element of a
+// special-free block into the digit string win, whose first element has
+// digit index base and which covers digit indices [kmin, kmax+2] for the
+// block's exponent range (the caller has grown it). Per float it is
+// straight-line: branch-free decompose (implicit bit and subnormal
+// exponent pinning as arithmetic on the exponent field), shift-based
+// digit index, and a fixed three-digit scatter behind a single
+// bounds-check hint, signed through a ±1 multiplier. Zeros decompose to a
+// zero significand and scatter nothing; their digit index −34 may fall
+// below a spread-proportional window, so the (no-op) scatter is clamped
+// up to kmin — a compare that never fires for nonzero elements.
+func scatterWin32(win []int64, base, kmin int, blk []float64, dir int64) {
+	for _, x := range blk {
+		b := math.Float64bits(x)
+		be := int(b>>52) & expField
+		nz := uint64(be+expField) >> 11 // 1 for normals, 0 for subnormals/zeros
+		m := b&fracBits | nz<<52
+		e := be + int(1-nz) - expBias
+		k := e >> 5
+		if k < kmin {
+			k = kmin // only zeros: m == 0, any covered digit absorbs nothing
+		}
+		off := uint(e) & 31
+		lo := m << off
+		hi := m >> (64 - off) // off == 0 shifts by 64: defined, yields 0
+		s := dir * (1 - 2*int64(b>>63))
+		t := win[k-base:]
+		_ = t[2]
+		t[0] += s * int64(lo&0xFFFFFFFF)
+		t[1] += s * int64(lo>>32)
+		t[2] += s * int64(hi)
+	}
+}
+
+// lanes32 accumulates a special-free block whose nonzero biased exponents
+// all lie within laneSpread of eb's block (eb is the digit-aligned anchor
+// exponent, eb = 32⌊emin/32⌋) into three signed 32-bit-stride lanes:
+// lane j holds the exact sum of bits [32j, 32j+32) of every m·2^(e−eb).
+// Shifts stay ≤ 31 + laneSpread = 43, so 53-bit significands fit the
+// 96 lane bits; |lane| grows by < 2^32 per element, so a block of
+// blockLen < 2^31 elements cannot overflow int64. Zeros have m == 0 and
+// contribute nothing regardless of their wrapped shift count.
+func lanes32(blk []float64, eb int, dir int64) (l0, l1, l2 int64) {
+	for _, x := range blk {
+		b := math.Float64bits(x)
+		be := int(b>>52) & expField
+		nz := uint64(be+expField) >> 11
+		m := b&fracBits | nz<<52
+		e := be + int(1-nz) - expBias
+		off := uint(e - eb)
+		lo := m << off
+		hi := m >> (64 - off)
+		s := dir * (1 - 2*int64(b>>63))
+		l0 += s * int64(lo&0xFFFFFFFF)
+		l1 += s * int64(lo>>32)
+		l2 += s * int64(hi)
+	}
+	return l0, l1, l2
+}

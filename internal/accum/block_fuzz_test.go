@@ -1,0 +1,103 @@
+package accum
+
+import (
+	"encoding/binary"
+	"math"
+	"slices"
+	"testing"
+)
+
+// FuzzBlockVsScalar is the differential obligation of the block-structured
+// bulk paths: for arbitrary float blocks — specials, zeros, denormals, and
+// any block-boundary split included — AddSlice/SubSlice must leave Dense,
+// Small, and Window in a state bit-identical to the scalar Add/Sub oracle
+// loop. States are compared canonically: regularized digit strings plus
+// the out-of-band special multiplicities, and the rounded result bits.
+//
+// Input layout: data[0] picks the AddSlice split point (so the fuzzer
+// exercises blocks cut at every boundary), data[1] picks how much of the
+// tail is deleted again via SubSlice, and the rest reinterprets as
+// little-endian float64s.
+func FuzzBlockVsScalar(f *testing.F) {
+	seed := func(split, sub byte, xs ...float64) {
+		data := []byte{split, sub}
+		for _, x := range xs {
+			data = binary.LittleEndian.AppendUint64(data, math.Float64bits(x))
+		}
+		f.Add(data)
+	}
+	seed(0, 0)
+	seed(1, 0, 1, 2, 3)
+	seed(128, 64, 1e100, 1, -1e100, 0.5)
+	seed(3, 200, math.Inf(1), math.NaN(), math.Inf(-1), 1.25, math.Inf(1))
+	seed(77, 10, 0, math.Copysign(0, -1), 1e-310, math.SmallestNonzeroFloat64)
+	seed(200, 100, math.MaxFloat64, math.MaxFloat64, -math.MaxFloat64)
+	// A multi-block narrow-spread run: the lane fast path across a split.
+	narrow := make([]float64, 300)
+	for i := range narrow {
+		narrow[i] = 1 + float64(i)/512
+	}
+	seed(150, 30, narrow...)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		split, sub := int(data[0]), int(data[1])
+		xs := fuzzBytesToFloats(data[2:], 1024)
+		p := 0
+		if len(xs) > 0 {
+			p = split % (len(xs) + 1)
+		}
+		nsub := 0
+		if n := len(xs) - p; n > 0 {
+			nsub = sub % (n + 1)
+		}
+		del := xs[len(xs)-nsub:]
+
+		bd, od := NewDense(0), NewDense(0)
+		bs, os := NewSmall(), NewSmall()
+		bw, ow := NewWindow(0), NewWindow(0)
+
+		// Block paths: two bulk adds around the split, one bulk delete.
+		for _, a := range []interface {
+			AddSlice([]float64)
+			SubSlice([]float64)
+		}{bd, bs, bw} {
+			a.AddSlice(xs[:p])
+			a.AddSlice(xs[p:])
+			a.SubSlice(del)
+		}
+		// Scalar oracle loops.
+		for _, x := range xs {
+			od.Add(x)
+			os.Add(x)
+			ow.Add(x)
+		}
+		for _, x := range del {
+			od.Sub(x)
+			os.Sub(x)
+			ow.Sub(x)
+		}
+
+		bd.Regularize()
+		od.Regularize()
+		if !slices.Equal(bd.dig, od.dig) || bd.sp != od.sp {
+			t.Fatalf("dense block path diverges from scalar oracle\nblock:  %v\nscalar: %v", bd, od)
+		}
+		bs.Propagate()
+		os.Propagate()
+		if !slices.Equal(bs.dig, os.dig) || bs.sp != os.sp {
+			t.Fatal("small block path diverges from scalar oracle")
+		}
+		bsp, osp := bw.ToSparse(), ow.ToSparse()
+		if !slices.Equal(bsp.idx, osp.idx) || !slices.Equal(bsp.dig, osp.dig) || bsp.sp != osp.sp {
+			t.Fatalf("window block path diverges from scalar oracle\nblock:  %v\nscalar: %v", bsp, osp)
+		}
+		for _, pair := range [][2]float64{{bd.Round(), od.Round()}, {bs.Round(), os.Round()}, {bw.Round(), ow.Round()}} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("Round bits diverge: block %x, scalar %x", math.Float64bits(pair[0]), math.Float64bits(pair[1]))
+			}
+		}
+	})
+}

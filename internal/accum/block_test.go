@@ -1,0 +1,238 @@
+package accum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// Differential tests for the block-structured bulk paths (block.go): on
+// every input class, AddSlice/SubSlice must leave each representation in a
+// state bit-identical to the scalar Add/Sub oracle loop — compared on the
+// canonical (regularized) digit string, the out-of-band special
+// multiplicities, and the rounded bits.
+
+// blockCases are the adversarial input classes the bulk paths must agree
+// with the scalar oracle on, each built at several lengths so blocks split
+// at every boundary shape (empty, sub-block, exact multiple, remainder).
+func blockCases(t *testing.T) map[string][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	lens := []int{0, 1, 3, 255, 256, 257, 1000}
+	cases := map[string][]float64{}
+	add := func(name string, n int, gen func() float64) {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = gen()
+		}
+		cases[name] = xs
+	}
+	for _, n := range lens {
+		// Wide exponent spread: scatter path.
+		add(tname("wide", n), n, func() float64 {
+			return math.Ldexp(rng.Float64()*2-1, rng.Intn(1200)-600)
+		})
+		// Narrow spread: the exponent-window lane path.
+		add(tname("narrow", n), n, func() float64 {
+			return math.Ldexp(rng.Float64()*2-1, rng.Intn(4))
+		})
+		// Zeros of both signs mixed into a narrow block.
+		add(tname("zeros", n), n, func() float64 {
+			switch rng.Intn(4) {
+			case 0:
+				return 0
+			case 1:
+				return math.Copysign(0, -1)
+			}
+			return math.Ldexp(rng.Float64()*2-1, rng.Intn(3))
+		})
+		// Denormals, alone and mixed with small normals.
+		add(tname("denormal", n), n, func() float64 {
+			v := math.Float64frombits(uint64(rng.Int63()) & (1<<52 - 1))
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			if rng.Intn(3) == 0 {
+				v = math.Ldexp(rng.Float64(), -1022)
+			}
+			return v
+		})
+		// Specials sprinkled into finite data: blocks divert out of line.
+		add(tname("special", n), n, func() float64 {
+			switch rng.Intn(8) {
+			case 0:
+				return math.Inf(1)
+			case 1:
+				return math.Inf(-1)
+			case 2:
+				return math.NaN()
+			}
+			return math.Ldexp(rng.Float64()*2-1, rng.Intn(600)-300)
+		})
+		// Raw random bit patterns: everything at once.
+		add(tname("bits", n), n, func() float64 {
+			return math.Float64frombits(rng.Uint64())
+		})
+		// Extremes: near-overflow magnitudes and the subnormal floor.
+		add(tname("extreme", n), n, func() float64 {
+			switch rng.Intn(4) {
+			case 0:
+				return math.MaxFloat64 * (rng.Float64()*2 - 1)
+			case 1:
+				return math.SmallestNonzeroFloat64 * float64(rng.Intn(5)-2)
+			}
+			return math.Ldexp(rng.Float64()*2-1, rng.Intn(2040)-1070)
+		})
+	}
+	return cases
+}
+
+func tname(kind string, n int) string {
+	return fmt.Sprintf("%s/%d", kind, n)
+}
+
+// splitSlices applies bulk adds of xs (in two arbitrary pieces, exercising
+// block-boundary splits) followed by bulk deletes of the second piece's
+// reverse — a mixed add/sub history.
+func splitSlices(xs []float64) (a, b, sub []float64) {
+	p := len(xs) / 3
+	a, b = xs[:p], xs[p:]
+	sub = make([]float64, 0, len(b)/2)
+	for i := len(b) - 1; i >= 0; i -= 2 {
+		sub = append(sub, b[i])
+	}
+	return a, b, sub
+}
+
+func TestBlockVsScalarDense(t *testing.T) {
+	for _, w := range []uint{8, 20, 32} {
+		for name, xs := range blockCases(t) {
+			a, b, sub := splitSlices(xs)
+			blk := NewDense(w)
+			blk.AddSlice(a)
+			blk.AddSlice(b)
+			blk.SubSlice(sub)
+
+			ora := NewDense(w)
+			for _, x := range xs {
+				ora.Add(x)
+			}
+			for _, x := range sub {
+				ora.Sub(x)
+			}
+
+			blk.Regularize()
+			ora.Regularize()
+			if !slices.Equal(blk.dig, ora.dig) || blk.sp != ora.sp {
+				t.Fatalf("W=%d %s: block path state diverges from scalar oracle\nblock:  %v\nscalar: %v", w, name, blk, ora)
+			}
+			if g, want := blk.Round(), ora.Round(); math.Float64bits(g) != math.Float64bits(want) {
+				t.Fatalf("W=%d %s: Round %x != scalar %x", w, name, math.Float64bits(g), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestBlockVsScalarSmall(t *testing.T) {
+	for name, xs := range blockCases(t) {
+		a, b, sub := splitSlices(xs)
+		blk := NewSmall()
+		blk.AddSlice(a)
+		blk.AddSlice(b)
+		blk.SubSlice(sub)
+
+		ora := NewSmall()
+		for _, x := range xs {
+			ora.Add(x)
+		}
+		for _, x := range sub {
+			ora.Sub(x)
+		}
+
+		blk.Propagate()
+		ora.Propagate()
+		if !slices.Equal(blk.dig, ora.dig) || blk.sp != ora.sp {
+			t.Fatalf("%s: small block path state diverges from scalar oracle", name)
+		}
+		if g, want := blk.Round(), ora.Round(); math.Float64bits(g) != math.Float64bits(want) {
+			t.Fatalf("%s: Round %x != scalar %x", name, math.Float64bits(g), math.Float64bits(want))
+		}
+	}
+}
+
+func TestBlockVsScalarWindow(t *testing.T) {
+	for _, w := range []uint{8, 20, 32} {
+		for name, xs := range blockCases(t) {
+			a, b, sub := splitSlices(xs)
+			blk := NewWindow(w)
+			blk.AddSlice(a)
+			blk.AddSlice(b)
+			blk.SubSlice(sub)
+
+			ora := NewWindow(w)
+			for _, x := range xs {
+				ora.Add(x)
+			}
+			for _, x := range sub {
+				ora.Sub(x)
+			}
+
+			// The two paths may grow the window differently; ToSparse is
+			// the canonical (regularized, zero-skipping) view.
+			bs, os := blk.ToSparse(), ora.ToSparse()
+			if !slices.Equal(bs.idx, os.idx) || !slices.Equal(bs.dig, os.dig) || bs.sp != os.sp {
+				t.Fatalf("W=%d %s: window block path state diverges from scalar oracle\nblock:  %v\nscalar: %v", w, name, bs, os)
+			}
+			if g, want := blk.Round(), ora.Round(); math.Float64bits(g) != math.Float64bits(want) {
+				t.Fatalf("W=%d %s: Round %x != scalar %x", w, name, math.Float64bits(g), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestLaneFastPathEngages pins the dispatch policy via the lazy-add
+// accounting: a narrow-spread block flushes through at most three
+// addInt64 calls, while a wide-spread block charges one lazy add per
+// element. This is the observable difference between the exponent-window
+// lane path and the general scatter.
+func TestLaneFastPathEngages(t *testing.T) {
+	narrow := make([]float64, blockLen)
+	for i := range narrow {
+		narrow[i] = 1.0 + float64(i)/blockLen
+	}
+	d := NewDense(0)
+	d.AddSlice(narrow)
+	if d.nAdd > 3 {
+		t.Fatalf("narrow block charged %d lazy adds, want <= 3 (lane path did not engage)", d.nAdd)
+	}
+
+	wide := make([]float64, blockLen)
+	for i := range wide {
+		wide[i] = math.Ldexp(1+float64(i%7)/8, (i%40)*20-400)
+	}
+	d2 := NewDense(0)
+	d2.AddSlice(wide)
+	if d2.nAdd != blockLen {
+		t.Fatalf("wide block charged %d lazy adds, want %d (scatter path)", d2.nAdd, blockLen)
+	}
+}
+
+// TestDenseAddSliceZeroAlloc asserts the bulk hot path allocates nothing:
+// the block pipeline runs entirely on the accumulator's existing digit
+// array and stack-resident lanes.
+func TestDenseAddSliceZeroAlloc(t *testing.T) {
+	xs := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := range xs {
+		xs[i] = math.Ldexp(rng.Float64()*2-1, rng.Intn(1000)-500)
+	}
+	d := NewDense(0)
+	if avg := testing.AllocsPerRun(20, func() { d.AddSlice(xs) }); avg != 0 {
+		t.Fatalf("Dense.AddSlice allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() { d.SubSlice(xs) }); avg != 0 {
+		t.Fatalf("Dense.SubSlice allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -20,6 +20,19 @@ import (
 // observation that a mantissa holds Ω(log n) slack bits, so carries need not
 // be resolved per addition). AddRegularized implements the carry-free
 // Lemma 1 addition used by the parallel algorithms.
+//
+// Amortized-regularization invariant: correctness requires only that at
+// most maxLazyAdds(W) digit-scatters land between regularization passes —
+// each scatter moves every digit by less than R, so the budget keeps
+// |digit| < 2^63 — not that the budget be re-checked per element. The bulk
+// paths (AddSlice/SubSlice) therefore charge the lazy-add budget once per
+// block of up to blockLen elements and classify the block once, instead of
+// re-checking nAdd >= maxAdd and re-classifying for every element of a
+// homogeneous finite block the way Add must. Where the budget check (and
+// hence a potential Regularize) falls relative to the input stream differs
+// between the scalar and block paths, but regularization never changes the
+// represented value, so the exact sum — and the canonical regularized
+// digit string — is bit-identical either way.
 type Dense struct {
 	w      uint
 	radix  int64
@@ -74,12 +87,30 @@ func (d *Dense) Add(x float64) {
 }
 
 // AddSlice accumulates every element of xs exactly. It is the bulk
-// streaming entry point used by the sequential and combiner code paths.
+// streaming entry point used by every bulk consumer — the sequential
+// one-shot Sum, the parallel chunk workers, sharded AddBatch, stream
+// bucket fills, and the sumd ingest path — and runs the block-structured
+// pipeline of block.go at the canonical digit width: branch-free per-block
+// classification, inline shift-based decomposition, a fixed three-digit
+// scatter per float, and an exponent-window fast path that accumulates
+// narrow-range blocks in int64 lanes and flushes them once per block. The
+// result is bit-identical to calling Add per element.
 func (d *Dense) AddSlice(xs []float64) {
-	for _, x := range xs {
-		d.Add(x)
+	if d.w != blockWidth {
+		for _, x := range xs {
+			d.Add(x)
+		}
+		return
 	}
+	addBlocks32(d, xs, 1)
 }
+
+// fullRange32 adapters: the shared block dispatcher (addBlocks32) drives
+// Dense through these one-line seams.
+func (d *Dense) digits32() ([]int64, int)  { return d.dig, d.minIdx }
+func (d *Dense) lazyBudget() (*int, int)   { return &d.nAdd, d.maxAdd }
+func (d *Dense) normalize()                { d.Regularize() }
+func (d *Dense) flushInt64(v int64, e int) { d.addInt64(v, e) }
 
 // addChunks splits the 53-bit significand m·2^e into W-bit digit-aligned
 // chunks and adds them (subtracts when neg) to the digit string. The
@@ -131,11 +162,16 @@ func (d *Dense) Sub(x float64) {
 	d.addChunks(!neg, m, e)
 }
 
-// SubSlice deletes every element of xs exactly.
+// SubSlice deletes every element of xs exactly, through the same
+// block-structured pipeline as AddSlice with the scatter sign flipped.
 func (d *Dense) SubSlice(xs []float64) {
-	for _, x := range xs {
-		d.Sub(x)
+	if d.w != blockWidth {
+		for _, x := range xs {
+			d.Sub(x)
+		}
+		return
 	}
+	addBlocks32(d, xs, -1)
 }
 
 // Neg negates the represented value in place: every digit flips sign (the

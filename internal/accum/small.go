@@ -72,11 +72,41 @@ func (s *Small) addChunks(neg bool, m uint64, e int) {
 	}
 }
 
-// AddSlice accumulates every element of xs exactly.
+// AddSlice accumulates every element of xs exactly through the
+// block-structured bulk pipeline (see block.go): Small's chunk spacing is
+// the canonical 32-bit width, so it shares the branch-free prescan, the
+// inline shift-based decomposition, the fixed three-chunk scatter, and
+// the exponent-window lane fast path with Dense. The result is
+// bit-identical to calling Add per element.
 func (s *Small) AddSlice(xs []float64) {
-	for _, x := range xs {
-		s.Add(x)
+	addBlocks32(s, xs, 1)
+}
+
+// fullRange32 adapters: the shared block dispatcher (addBlocks32) drives
+// Small through these one-line seams, with Propagate standing in for
+// Regularize in the lazy-add budget check.
+func (s *Small) digits32() ([]int64, int)  { return s.dig, s.minIdx }
+func (s *Small) lazyBudget() (*int, int)   { return &s.nAdd, s.maxAdd }
+func (s *Small) normalize()                { s.Propagate() }
+func (s *Small) flushInt64(v int64, e int) { s.addInt64(v, e) }
+
+// addInt64 accumulates the exact value v·2^e. Each chunk receives less
+// than 2^32 regardless of the magnitude of v, so the lazy-add accounting
+// of Add applies unchanged.
+func (s *Small) addInt64(v int64, e int) {
+	if v == 0 {
+		return
 	}
+	if s.nAdd >= s.maxAdd {
+		s.Propagate()
+	}
+	s.nAdd++
+	neg := v < 0
+	m := uint64(v)
+	if neg {
+		m = -m
+	}
+	s.addChunks(neg, m, e)
 }
 
 // Sub deletes x from the accumulated sum exactly — the group inverse of
@@ -96,11 +126,10 @@ func (s *Small) Sub(x float64) {
 	s.addChunks(!neg, m, e)
 }
 
-// SubSlice deletes every element of xs exactly.
+// SubSlice deletes every element of xs exactly, through the same block
+// pipeline as AddSlice with the scatter sign flipped.
 func (s *Small) SubSlice(xs []float64) {
-	for _, x := range xs {
-		s.Sub(x)
-	}
+	addBlocks32(s, xs, -1)
 }
 
 // Neg negates the represented value in place: every chunk flips sign and

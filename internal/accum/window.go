@@ -86,10 +86,50 @@ func (a *Window) addChunks(neg bool, m uint64, e int) {
 	}
 }
 
-// AddSlice accumulates every element of xs exactly.
+// AddSlice accumulates every element of xs exactly. At the canonical
+// digit width it runs the block-structured bulk pipeline (see block.go):
+// each block is prescanned once, the window is grown once to cover the
+// block's digit range, and every finite element lands through the fixed
+// three-digit scatter — no per-element classification, growth check, or
+// budget check. The result is bit-identical to calling Add per element.
+// (Window skips the int64-lane fast path: its payoff is amortizing
+// full-range regularization bookkeeping, and a spread-proportional window
+// is already only as large as the data's exponent range.)
 func (a *Window) AddSlice(xs []float64) {
-	for _, x := range xs {
-		a.Add(x)
+	if a.w != blockWidth {
+		for _, x := range xs {
+			a.Add(x)
+		}
+		return
+	}
+	a.addBlocks(xs, 1)
+}
+
+// addBlocks is the bulk dispatcher behind AddSlice and SubSlice; see
+// Dense.addBlocks. The window variant grows the active range once per
+// block from the prescan's exponent bounds, so the scatter runs against a
+// window guaranteed to cover it.
+func (a *Window) addBlocks(xs []float64, dir int64) {
+	for len(xs) > 0 {
+		n := min(len(xs), blockLen)
+		blk := xs[:n]
+		xs = xs[n:]
+		sc := prescanBlock(blk)
+		if sc.special {
+			scalarBlock(a, blk, dir)
+			continue
+		}
+		if sc.allZero {
+			continue
+		}
+		if a.nAdd+n > a.maxAdd {
+			a.regularize()
+		}
+		a.nAdd += n
+		kmin := (sc.bmin - expBias) >> 5
+		kmax := (sc.bmax - expBias) >> 5
+		a.ensure(kmin, kmax+2)
+		scatterWin32(a.win, a.base, kmin, blk, dir)
 	}
 }
 
@@ -113,11 +153,16 @@ func (a *Window) Sub(x float64) {
 	a.addChunks(!neg, m, e)
 }
 
-// SubSlice deletes every element of xs exactly.
+// SubSlice deletes every element of xs exactly, through the same block
+// pipeline as AddSlice with the scatter sign flipped.
 func (a *Window) SubSlice(xs []float64) {
-	for _, x := range xs {
-		a.Sub(x)
+	if a.w != blockWidth {
+		for _, x := range xs {
+			a.Sub(x)
+		}
+		return
 	}
+	a.addBlocks(xs, -1)
 }
 
 // Neg negates the represented value in place: every window digit flips

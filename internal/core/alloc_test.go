@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"parsum/internal/gen"
+)
+
+// TestParallelChunkLoopZeroAlloc asserts the parallel hot path's per-chunk
+// work — pulling ranges off the shared cursor and bulk-accumulating them —
+// allocates nothing once a worker holds its pooled accumulator. Goroutine
+// spawn and pool traffic are excluded: they are per-call, not per-chunk.
+func TestParallelChunkLoopZeroAlloc(t *testing.T) {
+	xs := gen.New(gen.Config{Dist: gen.Random, N: 1 << 14, Delta: 2000, Seed: 5}).Slice()
+	d := getDense(0)
+	defer putDense(d)
+	cur := &chunkCursor{chunk: 1 << 12, n: len(xs)}
+	if avg := testing.AllocsPerRun(10, func() {
+		cur.next.Store(0)
+		for {
+			lo, hi, ok := cur.take()
+			if !ok {
+				break
+			}
+			d.AddSlice(xs[lo:hi])
+		}
+	}); avg != 0 {
+		t.Fatalf("parallel chunk loop allocates %.1f times per drain, want 0", avg)
+	}
+}

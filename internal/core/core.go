@@ -148,8 +148,16 @@ func SumParallel(xs []float64, opt Options) float64 {
 // binary32 rounding boundaries).
 func Sum32(xs []float32) float32 {
 	d := getDense(0)
-	for _, x := range xs {
-		d.Add(float64(x))
+	// Widen through a stack buffer so the accumulation itself runs the
+	// block-structured bulk path instead of the scalar per-element one.
+	var buf [256]float64
+	for len(xs) > 0 {
+		n := min(len(xs), len(buf))
+		for i, x := range xs[:n] {
+			buf[i] = float64(x)
+		}
+		d.AddSlice(buf[:n])
+		xs = xs[n:]
 	}
 	v := d.Round32()
 	putDense(d)
