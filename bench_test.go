@@ -274,6 +274,7 @@ func BenchmarkAddSlice(b *testing.B) {
 		for _, d := range dists {
 			a := rep.mk()
 			b.Run(fmt.Sprintf("%s/%s/block", rep.name, d.name), func(b *testing.B) {
+				b.ReportAllocs()
 				b.SetBytes(8 * n)
 				for i := 0; i < b.N; i++ {
 					a.Reset()
@@ -291,6 +292,34 @@ func BenchmarkAddSlice(b *testing.B) {
 			})
 		}
 	}
+
+	// float32 narrow-lane mode: the single-word lane pass (lane) against
+	// widening to float64 and running the two-word pass (widen). δ stays
+	// inside the binary32 exponent range so no value overflows to +Inf.
+	xs32 := make([]float32, n)
+	for i, x := range dataset(gen.Random, n, 60) {
+		xs32[i] = float32(x)
+	}
+	d32 := accum.NewDense(0)
+	buf := make([]float64, n)
+	b.Run("dense/f32/lane", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			d32.Reset()
+			d32.AddSlice32(xs32)
+		}
+	})
+	b.Run("dense/f32/widen", func(b *testing.B) {
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			d32.Reset()
+			for j, x := range xs32 {
+				buf[j] = float64(x)
+			}
+			d32.AddSlice(buf)
+		}
+	})
 }
 
 // BenchmarkPublicAPI covers the exported surface.

@@ -76,6 +76,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "bench-regression gate: tolerance %.0f%%, baseline n=%d (GOMAXPROCS=%d), candidate n=%d (GOMAXPROCS=%d)\n",
 		*tolerance*100, baseline.N, baseline.GoMaxProcs, candidate.N, candidate.GoMaxProcs)
+	if !candidate.SpeedupMeaningful() {
+		fmt.Fprintf(stdout, "note: candidate measured with NumCPU=%d — speedup columns are ignored; the gate compares best throughput across worker counts\n",
+			candidate.NumCPU)
+	}
 	failed := false
 	for _, r := range results {
 		fmt.Fprintln(stdout, r)

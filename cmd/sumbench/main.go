@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -147,6 +148,10 @@ func main() {
 			if *quick {
 				sz = 1_000_000
 			}
+			if ncpu := runtime.NumCPU(); maxInts(wl) > ncpu {
+				fmt.Fprintf(os.Stderr, "warning: -workerlist goes up to %d but the machine has %d CPU(s); oversubscribed cells measure scheduling overhead, not scalability\n",
+					maxInts(wl), ncpu)
+			}
 			snap := bench.ParallelBench(sz, *delta, wl, checkEngines(false), *reps)
 			show(snap.Table())
 			if *jsonOut != "" {
@@ -270,6 +275,16 @@ func parseInts(s string) []int {
 		out = append(out, v)
 	}
 	return out
+}
+
+func maxInts(vs []int) int {
+	m := 0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 func parseInts64(s string) []int64 {

@@ -47,6 +47,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr    = fs.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
 		engName = fs.String("engine", "dense", "summation engine backing the service")
 		shards  = fs.Int("shards", 0, "writer-stripe count (0 = GOMAXPROCS)")
+		maxBody = fs.Int64("maxbody", 0, "request-body cap in bytes (0 = 64 MiB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -58,7 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sumd: unexpected arguments %q\n", fs.Args())
 		return 2
 	}
-	srv, err := sumdsrv.New(sumdsrv.Options{Engine: *engName, Shards: *shards})
+	srv, err := sumdsrv.New(sumdsrv.Options{Engine: *engName, Shards: *shards, MaxBodyBytes: *maxBody})
 	if err != nil {
 		fmt.Fprintln(stderr, "sumd:", err)
 		return 2

@@ -8,8 +8,8 @@ import (
 	"testing"
 )
 
-// Differential tests for the block-structured bulk paths (block.go): on
-// every input class, AddSlice/SubSlice must leave each representation in a
+// Differential tests for the bulk lane-cache paths (lanes.go): on every
+// input class, AddSlice/SubSlice must leave each representation in a
 // state bit-identical to the scalar Add/Sub oracle loop — compared on the
 // canonical (regularized) digit string, the out-of-band special
 // multiplicities, and the rounded bits.
@@ -192,30 +192,326 @@ func TestBlockVsScalarWindow(t *testing.T) {
 	}
 }
 
-// TestLaneFastPathEngages pins the dispatch policy via the lazy-add
-// accounting: a narrow-spread block flushes through at most three
-// addInt64 calls, while a wide-spread block charges one lazy add per
-// element. This is the observable difference between the exponent-window
-// lane path and the general scatter.
+// TestLaneFastPathEngages pins the dispatch policy via the two budgets: a
+// bulk insert at the canonical width — wide or narrow exponent spread
+// alike — lands entirely in the lane cache (lc.n charged per element, no
+// lazy digit adds), and only a flush point moves the contribution into
+// the digits (at most three pieces per dirty window). Non-canonical
+// widths take the scalar path and never touch the cache.
 func TestLaneFastPathEngages(t *testing.T) {
-	narrow := make([]float64, blockLen)
-	for i := range narrow {
-		narrow[i] = 1.0 + float64(i)/blockLen
-	}
-	d := NewDense(0)
-	d.AddSlice(narrow)
-	if d.nAdd > 3 {
-		t.Fatalf("narrow block charged %d lazy adds, want <= 3 (lane path did not engage)", d.nAdd)
-	}
-
-	wide := make([]float64, blockLen)
+	wide := make([]float64, 1000)
 	for i := range wide {
 		wide[i] = math.Ldexp(1+float64(i%7)/8, (i%40)*20-400)
 	}
-	d2 := NewDense(0)
-	d2.AddSlice(wide)
-	if d2.nAdd != blockLen {
-		t.Fatalf("wide block charged %d lazy adds, want %d (scatter path)", d2.nAdd, blockLen)
+	d := NewDense(0)
+	d.AddSlice(wide)
+	if d.lc.n != int64(len(wide)) {
+		t.Fatalf("wide slice charged %d lane adds, want %d (lane cache did not engage)", d.lc.n, len(wide))
+	}
+	if d.nAdd != 0 {
+		t.Fatalf("wide slice charged %d lazy digit adds before any flush, want 0", d.nAdd)
+	}
+	d.Regularize()
+	if d.lc.n != 0 || d.lc.dirty() {
+		t.Fatalf("Regularize left %d pending lane adds, want 0", d.lc.n)
+	}
+
+	d8 := NewDense(8)
+	d8.AddSlice(wide)
+	if d8.lc.n != 0 {
+		t.Fatalf("non-canonical width charged %d lane adds, want 0 (scalar path)", d8.lc.n)
+	}
+
+	// Specials divert only themselves: the finite elements stay in the
+	// lane cache, the special lands out of band via the repair pass.
+	mixed := append(append([]float64{1.5}, math.Inf(1)), 2.5, math.NaN())
+	dm := NewDense(0)
+	dm.AddSlice(mixed)
+	if dm.lc.n != int64(len(mixed)) {
+		t.Fatalf("mixed slice charged %d lane adds, want %d", dm.lc.n, len(mixed))
+	}
+	if dm.sp.posInf != 1 || dm.sp.nan != 1 {
+		t.Fatalf("specials not repaired out of band: %+v", dm.sp)
+	}
+	if g := dm.Round(); !math.IsNaN(g) {
+		t.Fatalf("Round after mixed specials = %v, want NaN", g)
+	}
+}
+
+// forceLaneBudget lowers the lane-cache add budget so flushes fire
+// mid-slice at test scale, restoring it on cleanup.
+func forceLaneBudget(t *testing.T, n int64) {
+	t.Helper()
+	old := laneMaxAdds
+	laneMaxAdds = n
+	t.Cleanup(func() { laneMaxAdds = old })
+}
+
+// TestLaneFlushBoundaries is the flush-boundary differential layer: with
+// the lane budget forced down to a handful of elements, every bulk insert
+// crosses many budget-exhaustion flushes mid-slice, Add and Sub alternate
+// across flushes, and specials land between flushes — and the final state
+// must still be bit-identical to the scalar oracle on all three
+// representations.
+func TestLaneFlushBoundaries(t *testing.T) {
+	for _, budget := range []int64{1, 3, 7, 100, 256, 257} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			forceLaneBudget(t, budget)
+			for name, xs := range blockCases(t) {
+				a, b, sub := splitSlices(xs)
+
+				bd, od := NewDense(0), NewDense(0)
+				bs, os := NewSmall(), NewSmall()
+				bw, ow := NewWindow(0), NewWindow(0)
+				for _, acc := range []interface {
+					AddSlice([]float64)
+					SubSlice([]float64)
+				}{bd, bs, bw} {
+					// Alternate Add and Sub so direction changes straddle
+					// budget-exhaustion flushes.
+					acc.AddSlice(a)
+					acc.SubSlice(sub)
+					acc.AddSlice(b)
+					acc.SubSlice(sub)
+					acc.AddSlice(sub)
+				}
+				for _, x := range xs {
+					od.Add(x)
+					os.Add(x)
+					ow.Add(x)
+				}
+				for _, x := range sub {
+					od.Sub(x)
+					os.Sub(x)
+					ow.Sub(x)
+				}
+
+				bd.Regularize()
+				od.Regularize()
+				if !slices.Equal(bd.dig, od.dig) || bd.sp != od.sp {
+					t.Fatalf("%s: dense flush-boundary state diverges from scalar oracle", name)
+				}
+				bs.Propagate()
+				os.Propagate()
+				if !slices.Equal(bs.dig, os.dig) || bs.sp != os.sp {
+					t.Fatalf("%s: small flush-boundary state diverges from scalar oracle", name)
+				}
+				bsp, osp := bw.ToSparse(), ow.ToSparse()
+				if !slices.Equal(bsp.idx, osp.idx) || !slices.Equal(bsp.dig, osp.dig) || bsp.sp != osp.sp {
+					t.Fatalf("%s: window flush-boundary state diverges from scalar oracle", name)
+				}
+			}
+		})
+	}
+}
+
+// blockCases32 are the float32 analogues of blockCases for the
+// narrow-lane AddSlice32 path.
+func blockCases32(t *testing.T) map[string][]float32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	cases := map[string][]float32{}
+	add := func(name string, n int, gen func() float32) {
+		xs := make([]float32, n)
+		for i := range xs {
+			xs[i] = gen()
+		}
+		cases[name] = xs
+	}
+	for _, n := range []int{0, 1, 3, 255, 256, 257, 1000} {
+		add(tname("wide32", n), n, func() float32 {
+			return float32(math.Ldexp(rng.Float64()*2-1, rng.Intn(250)-125))
+		})
+		add(tname("denormal32", n), n, func() float32 {
+			v := math.Float32frombits(rng.Uint32() & 0x7FFFFF)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			return v
+		})
+		add(tname("special32", n), n, func() float32 {
+			switch rng.Intn(8) {
+			case 0:
+				return float32(math.Inf(1))
+			case 1:
+				return float32(math.Inf(-1))
+			case 2:
+				return float32(math.NaN())
+			case 3:
+				return float32(math.Copysign(0, -1))
+			}
+			return float32(math.Ldexp(rng.Float64()*2-1, rng.Intn(60)-30))
+		})
+		add(tname("bits32", n), n, func() float32 {
+			return math.Float32frombits(rng.Uint32())
+		})
+		add(tname("extreme32", n), n, func() float32 {
+			switch rng.Intn(4) {
+			case 0:
+				return math.MaxFloat32 * float32(rng.Float64()*2-1)
+			case 1:
+				return math.SmallestNonzeroFloat32 * float32(rng.Intn(5)-2)
+			}
+			return float32(math.Ldexp(rng.Float64()*2-1, rng.Intn(276)-149))
+		})
+	}
+	return cases
+}
+
+// TestLane32VsScalar: AddSlice32/SubSlice32 must leave every
+// representation bit-identical to the scalar float64 oracle (every
+// float32 is exactly a float64, so Add(float64(x)) is the ground truth),
+// at the default budget and across forced mid-slice flushes.
+func TestLane32VsScalar(t *testing.T) {
+	for _, budget := range []int64{0, 5, 256} { // 0 = default
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			if budget > 0 {
+				forceLaneBudget(t, budget)
+			}
+			for name, xs := range blockCases32(t) {
+				p := len(xs) / 3
+				sub := xs[:p]
+
+				bd, od := NewDense(0), NewDense(0)
+				bs, os := NewSmall(), NewSmall()
+				bw, ow := NewWindow(0), NewWindow(0)
+				for _, acc := range []interface {
+					AddSlice32([]float32)
+					SubSlice32([]float32)
+				}{bd, bs, bw} {
+					acc.AddSlice32(xs[:p])
+					acc.AddSlice32(xs[p:])
+					acc.SubSlice32(sub)
+				}
+				for _, x := range xs {
+					od.Add(float64(x))
+					os.Add(float64(x))
+					ow.Add(float64(x))
+				}
+				for _, x := range sub {
+					od.Sub(float64(x))
+					os.Sub(float64(x))
+					ow.Sub(float64(x))
+				}
+
+				bd.Regularize()
+				od.Regularize()
+				if !slices.Equal(bd.dig, od.dig) || bd.sp != od.sp {
+					t.Fatalf("%s: dense f32 lane path diverges from scalar oracle\nlane:   %v\nscalar: %v", name, bd, od)
+				}
+				bs.Propagate()
+				os.Propagate()
+				if !slices.Equal(bs.dig, os.dig) || bs.sp != os.sp {
+					t.Fatalf("%s: small f32 lane path diverges from scalar oracle", name)
+				}
+				bsp, osp := bw.ToSparse(), ow.ToSparse()
+				if !slices.Equal(bsp.idx, osp.idx) || !slices.Equal(bsp.dig, osp.dig) || bsp.sp != osp.sp {
+					t.Fatalf("%s: window f32 lane path diverges from scalar oracle", name)
+				}
+				if g, want := bd.Round32(), od.Round32(); math.Float32bits(g) != math.Float32bits(want) {
+					t.Fatalf("%s: Round32 %x != scalar %x", name, math.Float32bits(g), math.Float32bits(want))
+				}
+			}
+		})
+	}
+}
+
+// TestLanePendingConsumers: every consumer of an accumulator's value must
+// observe pending lane contributions — Merge, AddNeg, Neg, Clone,
+// MarshalBinary, IsZero, Digits, ToSparse, AddRegularized — without an
+// explicit Regularize in between.
+func TestLanePendingConsumers(t *testing.T) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Ldexp(1+float64(i%9)/16, (i%50)*13-300)
+	}
+
+	// Merge with both sides dirty.
+	a, b := NewDense(0), NewDense(0)
+	a.AddSlice(xs[:200])
+	b.AddSlice(xs[200:])
+	a.Merge(b)
+	want := NewDense(0)
+	for _, x := range xs {
+		want.Add(x)
+	}
+	if g, w := a.Round(), want.Round(); math.Float64bits(g) != math.Float64bits(w) {
+		t.Fatalf("Merge with dirty lanes: %x != %x", math.Float64bits(g), math.Float64bits(w))
+	}
+
+	// AddNeg with both sides dirty cancels exactly.
+	c, d := NewDense(0), NewDense(0)
+	c.AddSlice(xs)
+	d.AddSlice(xs)
+	c.AddNeg(d)
+	if !c.IsZero() {
+		t.Fatal("AddNeg with dirty lanes did not cancel to zero")
+	}
+
+	// Neg of a dirty accumulator.
+	e := NewDense(0)
+	e.AddSlice(xs)
+	e.Neg()
+	f := NewDense(0)
+	for _, x := range xs {
+		f.Add(-x)
+	}
+	if g, w := e.Round(), f.Round(); math.Float64bits(g) != math.Float64bits(w) {
+		t.Fatalf("Neg with dirty lanes: %x != %x", math.Float64bits(g), math.Float64bits(w))
+	}
+
+	// Clone must copy pending lanes; mutating the clone leaves the
+	// original intact.
+	g := NewDense(0)
+	g.AddSlice(xs)
+	h := g.Clone()
+	h.AddSlice(xs)
+	if gv, wv := g.Round(), want.Round(); math.Float64bits(gv) != math.Float64bits(wv) {
+		t.Fatalf("Clone did not carry pending lanes: %x != %x", math.Float64bits(gv), math.Float64bits(wv))
+	}
+
+	// MarshalBinary round-trips the pending value.
+	m := NewDense(0)
+	m.AddSlice(xs)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Dense
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if gv, wv := back.Round(), want.Round(); math.Float64bits(gv) != math.Float64bits(wv) {
+		t.Fatalf("marshal with dirty lanes: %x != %x", math.Float64bits(gv), math.Float64bits(wv))
+	}
+
+	// AddRegularized regularizes a dirty side rather than reading stale
+	// digits.
+	p, q := NewDense(0), NewDense(0)
+	p.AddSlice(xs[:100])
+	p.Regularize()
+	q.AddSlice(xs[100:])
+	p.AddRegularized(q)
+	if gv, wv := p.Round(), want.Round(); math.Float64bits(gv) != math.Float64bits(wv) {
+		t.Fatalf("AddRegularized with dirty operand: %x != %x", math.Float64bits(gv), math.Float64bits(wv))
+	}
+
+	// Window: Merge/ToSparse with dirty lanes.
+	wa, wb := NewWindow(0), NewWindow(0)
+	wa.AddSlice(xs[:200])
+	wb.AddSlice(xs[200:])
+	wa.Merge(wb)
+	if gv, wv := wa.Round(), want.Round(); math.Float64bits(gv) != math.Float64bits(wv) {
+		t.Fatalf("Window.Merge with dirty lanes: %x != %x", math.Float64bits(gv), math.Float64bits(wv))
+	}
+
+	// Small: Merge with dirty lanes.
+	sa, sb := NewSmall(), NewSmall()
+	sa.AddSlice(xs[:200])
+	sb.AddSlice(xs[200:])
+	sa.Merge(sb)
+	if gv, wv := sa.Round(), want.Round(); math.Float64bits(gv) != math.Float64bits(wv) {
+		t.Fatalf("Small.Merge with dirty lanes: %x != %x", math.Float64bits(gv), math.Float64bits(wv))
 	}
 }
 
@@ -234,5 +530,15 @@ func TestDenseAddSliceZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(20, func() { d.SubSlice(xs) }); avg != 0 {
 		t.Fatalf("Dense.SubSlice allocates %.1f times per call, want 0", avg)
+	}
+	xs32 := make([]float32, 4096)
+	for i := range xs32 {
+		xs32[i] = float32(rng.Float64()*2 - 1)
+	}
+	if avg := testing.AllocsPerRun(20, func() { d.AddSlice32(xs32) }); avg != 0 {
+		t.Fatalf("Dense.AddSlice32 allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() { d.SubSlice32(xs32) }); avg != 0 {
+		t.Fatalf("Dense.SubSlice32 allocates %.1f times per call, want 0", avg)
 	}
 }

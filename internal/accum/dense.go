@@ -21,18 +21,15 @@ import (
 // be resolved per addition). AddRegularized implements the carry-free
 // Lemma 1 addition used by the parallel algorithms.
 //
-// Amortized-regularization invariant: correctness requires only that at
-// most maxLazyAdds(W) digit-scatters land between regularization passes —
-// each scatter moves every digit by less than R, so the budget keeps
-// |digit| < 2^63 — not that the budget be re-checked per element. The bulk
-// paths (AddSlice/SubSlice) therefore charge the lazy-add budget once per
-// block of up to blockLen elements and classify the block once, instead of
-// re-checking nAdd >= maxAdd and re-classifying for every element of a
-// homogeneous finite block the way Add must. Where the budget check (and
-// hence a potential Regularize) falls relative to the input stream differs
-// between the scalar and block paths, but regularization never changes the
-// represented value, so the exact sum — and the canonical regularized
-// digit string — is bit-identical either way.
+// Bulk additions at the canonical width go one tier higher: AddSlice and
+// SubSlice accumulate into the embedded carry-save lane cache (lanes.go),
+// an L1-resident 128-bit-per-window mirror of the digit string, and the
+// digits see the contribution only when the cache drains (flushLanes) — on
+// Regularize, Round, Merge, marshal, or lane-budget saturation. The
+// represented value is always digits + pending lanes; every consumer of
+// the digit string flushes first, and a flush is value-preserving, so the
+// canonical regularized digit string is bit-identical to the scalar
+// path's regardless of where flushes fall relative to the input stream.
 type Dense struct {
 	w      uint
 	radix  int64
@@ -42,6 +39,7 @@ type Dense struct {
 	nAdd   int
 	maxAdd int
 	sp     special
+	lc     laneCache
 }
 
 // NewDense returns an empty dense superaccumulator with digit width w
@@ -69,6 +67,7 @@ func (d *Dense) Reset() {
 	}
 	d.nAdd = 0
 	d.sp = special{}
+	d.lc.reset()
 }
 
 // Add accumulates x exactly. NaN and ±Inf are tracked with IEEE semantics.
@@ -89,12 +88,11 @@ func (d *Dense) Add(x float64) {
 // AddSlice accumulates every element of xs exactly. It is the bulk
 // streaming entry point used by every bulk consumer — the sequential
 // one-shot Sum, the parallel chunk workers, sharded AddBatch, stream
-// bucket fills, and the sumd ingest path — and runs the block-structured
-// pipeline of block.go at the canonical digit width: branch-free per-block
-// classification, inline shift-based decomposition, a fixed three-digit
-// scatter per float, and an exponent-window fast path that accumulates
-// narrow-range blocks in int64 lanes and flushes them once per block. The
-// result is bit-identical to calling Add per element.
+// bucket fills, and the sumd ingest path — and, at the canonical digit
+// width, runs the carry-save lane pass of lanes.go: one branch-free
+// 128-bit window update per element into the L1-resident lane cache,
+// drained into the dense digits only at flush points. The result is
+// bit-identical to calling Add per element.
 func (d *Dense) AddSlice(xs []float64) {
 	if d.w != blockWidth {
 		for _, x := range xs {
@@ -102,15 +100,73 @@ func (d *Dense) AddSlice(xs []float64) {
 		}
 		return
 	}
-	addBlocks32(d, xs, 1)
+	laneSlice(d, xs, 0)
 }
 
-// fullRange32 adapters: the shared block dispatcher (addBlocks32) drives
-// Dense through these one-line seams.
-func (d *Dense) digits32() ([]int64, int)  { return d.dig, d.minIdx }
-func (d *Dense) lazyBudget() (*int, int)   { return &d.nAdd, d.maxAdd }
-func (d *Dense) normalize()                { d.Regularize() }
-func (d *Dense) flushInt64(v int64, e int) { d.addInt64(v, e) }
+// AddSlice32 accumulates every element of a float32 slice exactly (every
+// float32 value is a float64 value; no widening conversion is
+// materialized). It runs the narrow-lane float32 pass — a 24-bit
+// significand never splits across lo words, so the per-element work is
+// strictly smaller than AddSlice's.
+func (d *Dense) AddSlice32(xs []float32) {
+	if d.w != blockWidth {
+		for _, x := range xs {
+			d.Add(float64(x))
+		}
+		return
+	}
+	laneSlice32(d, xs, 0)
+}
+
+// SubSlice32 deletes every element of a float32 slice exactly — the group
+// inverse of AddSlice32.
+func (d *Dense) SubSlice32(xs []float32) {
+	if d.w != blockWidth {
+		for _, x := range xs {
+			d.Sub(float64(x))
+		}
+		return
+	}
+	laneSlice32(d, xs, 1)
+}
+
+// laneHost adapters.
+func (d *Dense) lanes() *laneCache { return &d.lc }
+
+// flushLanes drains every pending lane-cache window into the dense digit
+// string (three exact pieces per dirty window) and zeroes the cache. It
+// charges the lazy-add budget per piece, paying at most one carry pass up
+// front so the drain itself cannot recurse into Regularize.
+func (d *Dense) flushLanes() {
+	if d.lc.n == 0 {
+		return
+	}
+	if d.nAdd+3*laneWindows > d.maxAdd {
+		d.carryPass()
+	}
+	for i := range d.lc.lane {
+		p := &d.lc.lane[i]
+		if p.lo == 0 && p.hi == 0 {
+			continue
+		}
+		e := (i - laneKBias) * blockWidth
+		p0, p1, hiNeg, hiMag := lanePieces(*p)
+		if p0 != 0 {
+			d.nAdd++
+			d.addChunks(false, p0, e)
+		}
+		if p1 != 0 {
+			d.nAdd++
+			d.addChunks(false, p1, e+blockWidth)
+		}
+		if hiMag != 0 {
+			d.nAdd++
+			d.addChunks(hiNeg, hiMag, e+64)
+		}
+		*p = lane128{}
+	}
+	d.lc.n = 0
+}
 
 // addChunks splits the 53-bit significand m·2^e into W-bit digit-aligned
 // chunks and adds them (subtracts when neg) to the digit string. The
@@ -162,8 +218,8 @@ func (d *Dense) Sub(x float64) {
 	d.addChunks(!neg, m, e)
 }
 
-// SubSlice deletes every element of xs exactly, through the same
-// block-structured pipeline as AddSlice with the scatter sign flipped.
+// SubSlice deletes every element of xs exactly, through the same lane
+// pass as AddSlice with the direction sign folded into the update mask.
 func (d *Dense) SubSlice(xs []float64) {
 	if d.w != blockWidth {
 		for _, x := range xs {
@@ -171,7 +227,7 @@ func (d *Dense) SubSlice(xs []float64) {
 		}
 		return
 	}
-	addBlocks32(d, xs, -1)
+	laneSlice(d, xs, 1)
 }
 
 // Neg negates the represented value in place: every digit flips sign (the
@@ -182,6 +238,7 @@ func (d *Dense) Neg() {
 	for i := range d.dig {
 		d.dig[i] = -d.dig[i]
 	}
+	d.lc.negate()
 	d.sp.negate()
 }
 
@@ -198,6 +255,10 @@ func (d *Dense) AddNeg(o *Dense) {
 	if d.nAdd+o.nAdd+1 > d.maxAdd {
 		d.Regularize() // o.nAdd ≤ maxAdd by construction, so this suffices
 	}
+	if d.lc.n+o.lc.n > laneMaxAdds {
+		d.flushLanes() // o.lc.n ≤ laneMaxAdds by construction
+	}
+	d.lc.unmerge(&o.lc)
 	for i, v := range o.dig {
 		d.dig[i] -= v
 	}
@@ -224,11 +285,21 @@ func (d *Dense) addInt64(v int64, e int) {
 }
 
 // Regularize restores every digit to the (α,β) range [−(R−1), R−1] without
-// changing the represented value. It is a single low-to-high signed-carry
-// pass: dᵢ ← v mod R (in [0, R−1]) with carry ⌊v/R⌋ into the next digit; the
-// topmost digit keeps its carry unreduced (the headroom digits guarantee it
-// stays small, and a globally negative value leaves the top digit negative).
+// changing the represented value, draining any pending lane-cache
+// contributions first so the digit string is the complete value. The carry
+// step is a single low-to-high signed-carry pass: dᵢ ← v mod R (in
+// [0, R−1]) with carry ⌊v/R⌋ into the next digit; the topmost digit keeps
+// its carry unreduced (the headroom digits guarantee it stays small, and a
+// globally negative value leaves the top digit negative).
 func (d *Dense) Regularize() {
+	d.flushLanes()
+	d.carryPass()
+}
+
+// carryPass is Regularize's carry step over the digits alone; callers
+// other than Regularize use it when the lane cache is being handled
+// separately (flushLanes pays one up front to make headroom).
+func (d *Dense) carryPass() {
 	var c int64
 	last := len(d.dig) - 1
 	for i := 0; i < last; i++ {
@@ -249,6 +320,15 @@ func (d *Dense) Regularize() {
 func (d *Dense) AddRegularized(o *Dense) {
 	if d.w != o.w {
 		panic("accum: width mismatch in AddRegularized")
+	}
+	// Pending lanes mean the digit string is not the complete value, so
+	// the side is not regularized; restore the precondition. (Callers on
+	// the parallel merge path regularize first, making these no-ops.)
+	if d.lc.dirty() {
+		d.Regularize()
+	}
+	if o.lc.dirty() {
+		o.Regularize()
 	}
 	d.sp.merge(o.sp)
 	r := d.radix
@@ -282,6 +362,10 @@ func (d *Dense) Merge(o *Dense) {
 	if d.nAdd+o.nAdd+1 > d.maxAdd {
 		d.Regularize() // o.nAdd ≤ maxAdd by construction, so this suffices
 	}
+	if d.lc.n+o.lc.n > laneMaxAdds {
+		d.flushLanes() // o.lc.n ≤ laneMaxAdds by construction
+	}
+	d.lc.merge(&o.lc)
 	for i, v := range o.dig {
 		d.dig[i] += v
 	}
@@ -289,8 +373,13 @@ func (d *Dense) Merge(o *Dense) {
 }
 
 // IsRegularized reports whether every digit lies in the (α,β) range
-// [−(R−1), R−1]. It is the Lemma 1 invariant checked by the property tests.
+// [−(R−1), R−1]. It is the Lemma 1 invariant checked by the property
+// tests. Pending lane-cache contributions mean the digit string is not
+// the complete value, so a dirty cache reads as not regularized.
 func (d *Dense) IsRegularized() bool {
+	if d.lc.dirty() {
+		return false
+	}
 	for _, v := range d.dig {
 		if v <= -d.radix || v >= d.radix {
 			return false
@@ -305,6 +394,7 @@ func (d *Dense) IsZero() bool {
 	if d.sp.any() {
 		return false
 	}
+	d.flushLanes()
 	for _, v := range d.dig {
 		if v != 0 {
 			return false
@@ -351,11 +441,16 @@ func (d *Dense) ToSparse() *Sparse {
 func (d *Dense) EncodedSize() int { return 8 * len(d.dig) }
 
 // Digits returns the digit string and the index of its first element, for
-// inspection by tests and the PRAM simulator. The slice aliases d's state.
-func (d *Dense) Digits() ([]int64, int) { return d.dig, d.minIdx }
+// inspection by tests and the PRAM simulator, draining any pending lane
+// contributions first. The slice aliases d's state.
+func (d *Dense) Digits() ([]int64, int) {
+	d.flushLanes()
+	return d.dig, d.minIdx
+}
 
 // String renders the nonzero digits for debugging.
 func (d *Dense) String() string {
+	d.flushLanes()
 	out := "Dense{"
 	first := true
 	for i := len(d.dig) - 1; i >= 0; i-- {

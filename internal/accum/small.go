@@ -15,6 +15,7 @@ type Small struct {
 	nAdd   int
 	maxAdd int
 	sp     special
+	lc     laneCache
 }
 
 const smallWidth = 32
@@ -72,23 +73,63 @@ func (s *Small) addChunks(neg bool, m uint64, e int) {
 	}
 }
 
-// AddSlice accumulates every element of xs exactly through the
-// block-structured bulk pipeline (see block.go): Small's chunk spacing is
-// the canonical 32-bit width, so it shares the branch-free prescan, the
-// inline shift-based decomposition, the fixed three-chunk scatter, and
-// the exponent-window lane fast path with Dense. The result is
+// AddSlice accumulates every element of xs exactly through the carry-save
+// lane pass (see lanes.go): Small's chunk spacing is the canonical 32-bit
+// width, so it shares the L1-resident lane cache machinery with Dense —
+// the only difference is where a flush drains to. The result is
 // bit-identical to calling Add per element.
 func (s *Small) AddSlice(xs []float64) {
-	addBlocks32(s, xs, 1)
+	laneSlice(s, xs, 0)
 }
 
-// fullRange32 adapters: the shared block dispatcher (addBlocks32) drives
-// Small through these one-line seams, with Propagate standing in for
-// Regularize in the lazy-add budget check.
-func (s *Small) digits32() ([]int64, int)  { return s.dig, s.minIdx }
-func (s *Small) lazyBudget() (*int, int)   { return &s.nAdd, s.maxAdd }
-func (s *Small) normalize()                { s.Propagate() }
-func (s *Small) flushInt64(v int64, e int) { s.addInt64(v, e) }
+// AddSlice32 accumulates every element of a float32 slice exactly via the
+// narrow-lane float32 pass.
+func (s *Small) AddSlice32(xs []float32) {
+	laneSlice32(s, xs, 0)
+}
+
+// SubSlice32 deletes every element of a float32 slice exactly — the group
+// inverse of AddSlice32.
+func (s *Small) SubSlice32(xs []float32) {
+	laneSlice32(s, xs, 1)
+}
+
+// laneHost adapters.
+func (s *Small) lanes() *laneCache { return &s.lc }
+
+// flushLanes drains every pending lane-cache window into the chunk array
+// (three exact pieces per dirty window) and zeroes the cache, paying at
+// most one carry pass up front so the drain cannot recurse.
+func (s *Small) flushLanes() {
+	if s.lc.n == 0 {
+		return
+	}
+	if s.nAdd+3*laneWindows > s.maxAdd {
+		s.carryPass()
+	}
+	for i := range s.lc.lane {
+		p := &s.lc.lane[i]
+		if p.lo == 0 && p.hi == 0 {
+			continue
+		}
+		e := (i - laneKBias) * smallWidth
+		p0, p1, hiNeg, hiMag := lanePieces(*p)
+		if p0 != 0 {
+			s.nAdd++
+			s.addChunks(false, p0, e)
+		}
+		if p1 != 0 {
+			s.nAdd++
+			s.addChunks(false, p1, e+smallWidth)
+		}
+		if hiMag != 0 {
+			s.nAdd++
+			s.addChunks(hiNeg, hiMag, e+64)
+		}
+		*p = lane128{}
+	}
+	s.lc.n = 0
+}
 
 // addInt64 accumulates the exact value v·2^e. Each chunk receives less
 // than 2^32 regardless of the magnitude of v, so the lazy-add accounting
@@ -126,10 +167,10 @@ func (s *Small) Sub(x float64) {
 	s.addChunks(!neg, m, e)
 }
 
-// SubSlice deletes every element of xs exactly, through the same block
-// pipeline as AddSlice with the scatter sign flipped.
+// SubSlice deletes every element of xs exactly, through the same lane
+// pass as AddSlice with the direction sign folded into the update mask.
 func (s *Small) SubSlice(xs []float64) {
-	addBlocks32(s, xs, -1)
+	laneSlice(s, xs, 1)
 }
 
 // Neg negates the represented value in place: every chunk flips sign and
@@ -139,6 +180,7 @@ func (s *Small) Neg() {
 	for i := range s.dig {
 		s.dig[i] = -s.dig[i]
 	}
+	s.lc.negate()
 	s.sp.negate()
 }
 
@@ -150,6 +192,10 @@ func (s *Small) AddNeg(o *Small) {
 	if s.nAdd+o.nAdd+1 > s.maxAdd {
 		s.Propagate() // o.nAdd ≤ maxAdd by construction, so this suffices
 	}
+	if s.lc.n+o.lc.n > laneMaxAdds {
+		s.flushLanes() // o.lc.n ≤ laneMaxAdds by construction
+	}
+	s.lc.unmerge(&o.lc)
 	for i, v := range o.dig {
 		s.dig[i] -= v
 	}
@@ -157,9 +203,16 @@ func (s *Small) AddNeg(o *Small) {
 }
 
 // Propagate performs the full sequential carry-propagation pass, leaving
-// every chunk but the topmost in [0, 2^32). This is the inherently
-// sequential step the paper's carry-free representation avoids.
+// every chunk but the topmost in [0, 2^32), draining any pending
+// lane-cache contributions first. This is the inherently sequential step
+// the paper's carry-free representation avoids.
 func (s *Small) Propagate() {
+	s.flushLanes()
+	s.carryPass()
+}
+
+// carryPass is Propagate's carry step over the chunks alone.
+func (s *Small) carryPass() {
 	var c int64
 	last := len(s.dig) - 1
 	for i := 0; i < last; i++ {
@@ -178,6 +231,10 @@ func (s *Small) Merge(o *Small) {
 	if s.nAdd+o.nAdd+1 > s.maxAdd {
 		s.Propagate() // o.nAdd ≤ maxAdd by construction, so this suffices
 	}
+	if s.lc.n+o.lc.n > laneMaxAdds {
+		s.flushLanes() // o.lc.n ≤ laneMaxAdds by construction
+	}
+	s.lc.merge(&o.lc)
 	for i, v := range o.dig {
 		s.dig[i] += v
 	}
@@ -200,6 +257,7 @@ func (s *Small) Reset() {
 	}
 	s.nAdd = 0
 	s.sp = special{}
+	s.lc.reset()
 }
 
 // Clone returns an independent copy of s.

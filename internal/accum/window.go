@@ -14,6 +14,7 @@ type Window struct {
 	nAdd   int
 	maxAdd int
 	sp     special
+	lc     laneCache
 }
 
 // NewWindow returns an empty window accumulator of width w
@@ -26,14 +27,20 @@ func NewWindow(w uint) *Window {
 // Width returns the digit width W.
 func (a *Window) Width() uint { return a.w }
 
-// Span returns the number of digits the active window currently covers.
-func (a *Window) Span() int { return len(a.win) }
+// Span returns the number of digits the active window currently covers,
+// draining any pending lane contributions first so the answer reflects
+// the full accumulated value.
+func (a *Window) Span() int {
+	a.flushLanes()
+	return len(a.win)
+}
 
 // Reset empties the accumulator, retaining its storage.
 func (a *Window) Reset() {
 	a.win = a.win[:0]
 	a.nAdd = 0
 	a.sp = special{}
+	a.lc.reset()
 }
 
 // Add accumulates x exactly, growing the window as needed.
@@ -87,14 +94,11 @@ func (a *Window) addChunks(neg bool, m uint64, e int) {
 }
 
 // AddSlice accumulates every element of xs exactly. At the canonical
-// digit width it runs the block-structured bulk pipeline (see block.go):
-// each block is prescanned once, the window is grown once to cover the
-// block's digit range, and every finite element lands through the fixed
-// three-digit scatter — no per-element classification, growth check, or
-// budget check. The result is bit-identical to calling Add per element.
-// (Window skips the int64-lane fast path: its payoff is amortizing
-// full-range regularization bookkeeping, and a spread-proportional window
-// is already only as large as the data's exponent range.)
+// digit width it runs the carry-save lane pass of lanes.go, sharing the
+// L1-resident lane cache machinery with Dense and Small; the active
+// window grows to cover the drained digit range only at flush time, so a
+// bulk insert never grows or classifies per element. The result is
+// bit-identical to calling Add per element.
 func (a *Window) AddSlice(xs []float64) {
 	if a.w != blockWidth {
 		for _, x := range xs {
@@ -102,35 +106,68 @@ func (a *Window) AddSlice(xs []float64) {
 		}
 		return
 	}
-	a.addBlocks(xs, 1)
+	laneSlice(a, xs, 0)
 }
 
-// addBlocks is the bulk dispatcher behind AddSlice and SubSlice; see
-// Dense.addBlocks. The window variant grows the active range once per
-// block from the prescan's exponent bounds, so the scatter runs against a
-// window guaranteed to cover it.
-func (a *Window) addBlocks(xs []float64, dir int64) {
-	for len(xs) > 0 {
-		n := min(len(xs), blockLen)
-		blk := xs[:n]
-		xs = xs[n:]
-		sc := prescanBlock(blk)
-		if sc.special {
-			scalarBlock(a, blk, dir)
-			continue
+// AddSlice32 accumulates every element of a float32 slice exactly via the
+// narrow-lane float32 pass.
+func (a *Window) AddSlice32(xs []float32) {
+	if a.w != blockWidth {
+		for _, x := range xs {
+			a.Add(float64(x))
 		}
-		if sc.allZero {
-			continue
-		}
-		if a.nAdd+n > a.maxAdd {
-			a.regularize()
-		}
-		a.nAdd += n
-		kmin := (sc.bmin - expBias) >> 5
-		kmax := (sc.bmax - expBias) >> 5
-		a.ensure(kmin, kmax+2)
-		scatterWin32(a.win, a.base, kmin, blk, dir)
+		return
 	}
+	laneSlice32(a, xs, 0)
+}
+
+// SubSlice32 deletes every element of a float32 slice exactly — the group
+// inverse of AddSlice32.
+func (a *Window) SubSlice32(xs []float32) {
+	if a.w != blockWidth {
+		for _, x := range xs {
+			a.Sub(float64(x))
+		}
+		return
+	}
+	laneSlice32(a, xs, 1)
+}
+
+// laneHost adapters.
+func (a *Window) lanes() *laneCache { return &a.lc }
+
+// flushLanes drains every pending lane-cache window into the active digit
+// window (growing it as needed through addChunks) and zeroes the cache,
+// paying at most one carry pass up front so the drain cannot recurse.
+func (a *Window) flushLanes() {
+	if a.lc.n == 0 {
+		return
+	}
+	if a.nAdd+3*laneWindows > a.maxAdd {
+		a.carryPass()
+	}
+	for i := range a.lc.lane {
+		p := &a.lc.lane[i]
+		if p.lo == 0 && p.hi == 0 {
+			continue
+		}
+		e := (i - laneKBias) * blockWidth
+		p0, p1, hiNeg, hiMag := lanePieces(*p)
+		if p0 != 0 {
+			a.nAdd++
+			a.addChunks(false, p0, e)
+		}
+		if p1 != 0 {
+			a.nAdd++
+			a.addChunks(false, p1, e+blockWidth)
+		}
+		if hiMag != 0 {
+			a.nAdd++
+			a.addChunks(hiNeg, hiMag, e+64)
+		}
+		*p = lane128{}
+	}
+	a.lc.n = 0
 }
 
 // Sub deletes x from the accumulated sum exactly — the group inverse of
@@ -153,8 +190,8 @@ func (a *Window) Sub(x float64) {
 	a.addChunks(!neg, m, e)
 }
 
-// SubSlice deletes every element of xs exactly, through the same block
-// pipeline as AddSlice with the scatter sign flipped.
+// SubSlice deletes every element of xs exactly, through the same lane
+// pass as AddSlice with the direction sign folded into the update mask.
 func (a *Window) SubSlice(xs []float64) {
 	if a.w != blockWidth {
 		for _, x := range xs {
@@ -162,7 +199,7 @@ func (a *Window) SubSlice(xs []float64) {
 		}
 		return
 	}
-	a.addBlocks(xs, -1)
+	laneSlice(a, xs, 1)
 }
 
 // Neg negates the represented value in place: every window digit flips
@@ -172,6 +209,7 @@ func (a *Window) Neg() {
 	for i := range a.win {
 		a.win[i] = -a.win[i]
 	}
+	a.lc.negate()
 	a.sp.negate()
 }
 
@@ -183,6 +221,10 @@ func (a *Window) AddNeg(o *Window) {
 		panic("accum: width mismatch in Window.AddNeg")
 	}
 	a.sp.unmerge(o.sp)
+	if a.lc.n+o.lc.n > laneMaxAdds {
+		a.flushLanes() // o.lc.n ≤ laneMaxAdds by construction
+	}
+	a.lc.unmerge(&o.lc)
 	if len(o.win) == 0 {
 		return
 	}
@@ -222,11 +264,18 @@ func (a *Window) ensure(lo, hi int) {
 	a.base, a.win = nb, nw
 }
 
-// regularize runs the signed-carry pass over the window; a final carry
-// extends the window by as many digits as it needs. Every resulting digit
-// is in [0, R−1] except possibly a single trailing −1 when the represented
-// value is negative (all within the (α,β) range).
+// regularize drains any pending lane contributions and runs the
+// signed-carry pass over the window; a final carry extends the window by
+// as many digits as it needs. Every resulting digit is in [0, R−1] except
+// possibly a single trailing −1 when the represented value is negative
+// (all within the (α,β) range).
 func (a *Window) regularize() {
+	a.flushLanes()
+	a.carryPass()
+}
+
+// carryPass is regularize's carry step over the window digits alone.
+func (a *Window) carryPass() {
 	if len(a.win) == 0 {
 		a.nAdd = 0
 		return
@@ -274,6 +323,10 @@ func (a *Window) Merge(o *Window) {
 		panic("accum: width mismatch in Window.Merge")
 	}
 	a.sp.merge(o.sp)
+	if a.lc.n+o.lc.n > laneMaxAdds {
+		a.flushLanes() // o.lc.n ≤ laneMaxAdds by construction
+	}
+	a.lc.merge(&o.lc)
 	if len(o.win) == 0 {
 		return
 	}
@@ -314,6 +367,7 @@ func (a *Window) Round() float64 {
 	if v, ok := a.sp.resolved(); ok {
 		return v
 	}
+	a.flushLanes()
 	if len(a.win) == 0 {
 		return 0
 	}

@@ -26,13 +26,25 @@ type ParallelPoint struct {
 // trajectory file BENCH_parallel.json that future optimisation PRs
 // compare against.
 type ParallelSnapshot struct {
-	N          int64           `json:"n"`
-	Delta      int             `json:"delta"`
-	Dist       string          `json:"dist"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Reps       int             `json:"reps"` // best-of-reps wall time per cell
-	Points     []ParallelPoint `json:"points"`
+	N          int64  `json:"n"`
+	Delta      int    `json:"delta"`
+	Dist       string `json:"dist"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU is runtime.NumCPU() on the measuring machine. GOMAXPROCS can
+	// be set higher than the hardware offers, so a snapshot records both:
+	// speedup columns measured with more workers than CPUs say nothing
+	// about the algorithm's scalability (zero in snapshots predating the
+	// field).
+	NumCPU int             `json:"num_cpu,omitempty"`
+	Reps   int             `json:"reps"` // best-of-reps wall time per cell
+	Points []ParallelPoint `json:"points"`
 }
+
+// SpeedupMeaningful reports whether the snapshot's speedup columns reflect
+// real hardware parallelism: false when the machine had a single CPU (or
+// the snapshot predates NumCPU recording), where every multi-worker cell
+// is just oversubscription overhead.
+func (s ParallelSnapshot) SpeedupMeaningful() bool { return s.NumCPU > 1 }
 
 // ParallelBench measures core.SumParallel for the named engines across
 // worker counts on one generated dataset, best-of-reps per cell. Engine
@@ -48,6 +60,7 @@ func ParallelBench(n int64, delta int, workerList []int, engines []string, reps 
 		Delta:      delta,
 		Dist:       gen.Random.String(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Reps:       reps,
 	}
 	xs := gen.New(gen.Config{Dist: gen.Random, N: n, Delta: delta, Seed: 21}).Slice()
@@ -107,6 +120,21 @@ func (s ParallelSnapshot) Table() Table {
 	}
 	t.Notes = append(t.Notes,
 		"engines without deterministic streaming merges fall back to their sequential one-shot Sum")
+	if !s.SpeedupMeaningful() {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"measured with NumCPU=%d: speedup columns reflect oversubscription, not scalability", s.NumCPU))
+	} else {
+		maxW := 0
+		for _, p := range s.Points {
+			if p.Workers > maxW {
+				maxW = p.Workers
+			}
+		}
+		if maxW > s.NumCPU {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"worker counts above NumCPU=%d are oversubscribed; their speedup cells are not scalability evidence", s.NumCPU))
+		}
+	}
 	return t
 }
 

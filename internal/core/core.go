@@ -148,17 +148,11 @@ func SumParallel(xs []float64, opt Options) float64 {
 // binary32 rounding boundaries).
 func Sum32(xs []float32) float32 {
 	d := getDense(0)
-	// Widen through a stack buffer so the accumulation itself runs the
-	// block-structured bulk path instead of the scalar per-element one.
-	var buf [256]float64
-	for len(xs) > 0 {
-		n := min(len(xs), len(buf))
-		for i, x := range xs[:n] {
-			buf[i] = float64(x)
-		}
-		d.AddSlice(buf[:n])
-		xs = xs[n:]
-	}
+	// The narrow-lane pass consumes the binary32 values directly: no
+	// widened float64 copy is ever materialized, and the lane updates are
+	// single-word (a binary32 significand shifted into digit position
+	// fits one uint64), so this runs faster than the float64 bulk path.
+	d.AddSlice32(xs)
 	v := d.Round32()
 	putDense(d)
 	return v

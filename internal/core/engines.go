@@ -64,8 +64,10 @@ type denseAcc struct{ d *accum.Dense }
 
 func (a *denseAcc) Add(x float64)              { a.d.Add(x) }
 func (a *denseAcc) AddSlice(xs []float64)      { a.d.AddSlice(xs) }
+func (a *denseAcc) AddSlice32(xs []float32)    { a.d.AddSlice32(xs) }
 func (a *denseAcc) Sub(x float64)              { a.d.Sub(x) }
 func (a *denseAcc) SubSlice(xs []float64)      { a.d.SubSlice(xs) }
+func (a *denseAcc) SubSlice32(xs []float32)    { a.d.SubSlice32(xs) }
 func (a *denseAcc) Merge(o engine.Accumulator) { a.d.Merge(o.(*denseAcc).d) }
 
 func (a *denseAcc) SubAccumulator(o engine.Accumulator) { a.d.AddNeg(o.(*denseAcc).d) }
@@ -98,8 +100,10 @@ type windowAcc struct{ w *accum.Window }
 
 func (a *windowAcc) Add(x float64)              { a.w.Add(x) }
 func (a *windowAcc) AddSlice(xs []float64)      { a.w.AddSlice(xs) }
+func (a *windowAcc) AddSlice32(xs []float32)    { a.w.AddSlice32(xs) }
 func (a *windowAcc) Sub(x float64)              { a.w.Sub(x) }
 func (a *windowAcc) SubSlice(xs []float64)      { a.w.SubSlice(xs) }
+func (a *windowAcc) SubSlice32(xs []float32)    { a.w.SubSlice32(xs) }
 func (a *windowAcc) Merge(o engine.Accumulator) { a.w.Merge(o.(*windowAcc).w) }
 
 func (a *windowAcc) SubAccumulator(o engine.Accumulator) { a.w.AddNeg(o.(*windowAcc).w) }
@@ -131,8 +135,10 @@ type smallAcc struct{ s *accum.Small }
 
 func (a *smallAcc) Add(x float64)              { a.s.Add(x) }
 func (a *smallAcc) AddSlice(xs []float64)      { a.s.AddSlice(xs) }
+func (a *smallAcc) AddSlice32(xs []float32)    { a.s.AddSlice32(xs) }
 func (a *smallAcc) Sub(x float64)              { a.s.Sub(x) }
 func (a *smallAcc) SubSlice(xs []float64)      { a.s.SubSlice(xs) }
+func (a *smallAcc) SubSlice32(xs []float32)    { a.s.SubSlice32(xs) }
 func (a *smallAcc) Merge(o engine.Accumulator) { a.s.Merge(o.(*smallAcc).s) }
 
 func (a *smallAcc) SubAccumulator(o engine.Accumulator) { a.s.AddNeg(o.(*smallAcc).s) }

@@ -83,6 +83,16 @@ type Rounder32 interface {
 	Round32() float32
 }
 
+// Adder32 is implemented by accumulators with a native float32 bulk path:
+// AddSlice32 accumulates every element exactly (each binary32 value is
+// exactly representable in the accumulator), bit-identical to widening
+// each element and calling Add, without materializing a float64 copy.
+// SubSlice32 is its group inverse on Invertible engines.
+type Adder32 interface {
+	AddSlice32(xs []float32)
+	SubSlice32(xs []float32)
+}
+
 // SigmaCounter is implemented by accumulators that can report σ — the
 // number of active superaccumulator components — for diagnostics.
 type SigmaCounter interface {

@@ -48,11 +48,12 @@ import (
 	"parsum/internal/shard"
 )
 
-// MaxBodyBytes caps every request body (64 MiB ≈ 8M float64s per batch).
+// MaxBodyBytes is the default request-body cap (64 MiB ≈ 8M float64s per
+// batch); Options.MaxBodyBytes overrides it per server.
 const MaxBodyBytes = 64 << 20
 
 // Options configures a Server; the zero value is ready to use (dense
-// engine, one shard per P).
+// engine, one shard per P, 64 MiB body cap).
 type Options struct {
 	// Engine names the summation engine backing the service; "" means
 	// dense. It must be streaming, deterministic-parallel, and
@@ -61,14 +62,19 @@ type Options struct {
 	// Shards is the writer-stripe count of the backing Sharded; 0 means
 	// GOMAXPROCS.
 	Shards int
+	// MaxBodyBytes caps every request body; a request exceeding it gets
+	// 413 and never disturbs accumulated state. 0 means the MaxBodyBytes
+	// constant; negative is rejected by New.
+	MaxBodyBytes int64
 }
 
 // Server is the merge service. It implements http.Handler and is safe for
 // concurrent use.
 type Server struct {
-	sh    *parsum.Sharded
-	mux   *http.ServeMux
-	start time.Time
+	sh      *parsum.Sharded
+	mux     *http.ServeMux
+	start   time.Time
+	maxBody int64
 
 	values     atomic.Int64 // raw float64s ingested via /v1/add
 	batches    atomic.Int64 // /v1/add requests
@@ -82,6 +88,13 @@ type Server struct {
 // when the engine cannot back a deterministic sharded accumulator or its
 // partials cannot cross the wire.
 func New(opt Options) (*Server, error) {
+	if opt.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("sumd: negative body cap %d", opt.MaxBodyBytes)
+	}
+	maxBody := opt.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = MaxBodyBytes
+	}
 	sh, err := parsum.NewSharded(parsum.ShardedOptions{Engine: opt.Engine, Shards: opt.Shards})
 	if err != nil {
 		return nil, err
@@ -90,7 +103,7 @@ func New(opt Options) (*Server, error) {
 	if _, err := sh.SnapshotBytes(); err != nil {
 		return nil, fmt.Errorf("sumd: engine %q cannot serve wire partials: %w", sh.Engine(), err)
 	}
-	s := &Server{sh: sh, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{sh: sh, mux: http.NewServeMux(), start: time.Now(), maxBody: maxBody}
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
 	s.mux.HandleFunc("POST /v1/sub", s.handleSub)
 	s.mux.HandleFunc("POST /v1/partial", s.handlePushPartial)
@@ -106,7 +119,7 @@ func New(opt Options) (*Server, error) {
 func (s *Server) Engine() string { return s.sh.Engine() }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	s.mux.ServeHTTP(w, r)
 }
 
