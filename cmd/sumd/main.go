@@ -8,9 +8,17 @@
 // Usage:
 //
 //	sumd -addr :8372 -engine dense -shards 8
+//	sumd -async -queue 512 -maxbatch 8192 -maxdelay 2ms
+//
+// With -async, /v1/add and /v1/sub go through the batched ingestion
+// front-end: a bounded queue drained on a size-or-deadline trigger, 429
+// with Retry-After when the queue is full (sync ingestion remains the
+// default). Every ingest counter is served in Prometheus text format on
+// GET /metrics.
 //
 // Endpoints (see internal/sumdsrv): POST /v1/add, POST/GET /v1/partial,
-// GET /v1/sum, POST /v1/reset, GET /v1/stats, GET /v1/healthz.
+// GET /v1/sum, POST /v1/reset, GET /v1/stats, GET /v1/healthz,
+// GET /metrics.
 //
 // Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 1 on serve error,
 // 2 on usage error.
@@ -44,10 +52,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sumd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
-		engName = fs.String("engine", "dense", "summation engine backing the service")
-		shards  = fs.Int("shards", 0, "writer-stripe count (0 = GOMAXPROCS)")
-		maxBody = fs.Int64("maxbody", 0, "request-body cap in bytes (0 = 64 MiB default)")
+		addr     = fs.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
+		engName  = fs.String("engine", "dense", "summation engine backing the service")
+		shards   = fs.Int("shards", 0, "writer-stripe count (0 = GOMAXPROCS)")
+		maxBody  = fs.Int64("maxbody", 0, "request-body cap in bytes (0 = 64 MiB default)")
+		async    = fs.Bool("async", false, "batch /v1/add and /v1/sub through the bounded-queue ingestion front-end")
+		queue    = fs.Int("queue", 0, "async: bounded-queue capacity in requests (0 = 256)")
+		maxBatch = fs.Int("maxbatch", 0, "async: pending-value count that triggers a flush (0 = 4096)")
+		maxDelay = fs.Duration("maxdelay", 0, "async: latency budget before a deadline flush (0 = 2ms)")
+		flushers = fs.Int("flushers", 0, "async: concurrent flusher goroutines (0 = 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,17 +72,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sumd: unexpected arguments %q\n", fs.Args())
 		return 2
 	}
-	srv, err := sumdsrv.New(sumdsrv.Options{Engine: *engName, Shards: *shards, MaxBodyBytes: *maxBody})
+	if !*async && (*queue != 0 || *maxBatch != 0 || *maxDelay != 0 || *flushers != 0) {
+		fmt.Fprintln(stderr, "sumd: -queue/-maxbatch/-maxdelay/-flushers require -async")
+		return 2
+	}
+	srv, err := sumdsrv.New(sumdsrv.Options{
+		Engine: *engName, Shards: *shards, MaxBodyBytes: *maxBody,
+		Async: *async, QueueLen: *queue, MaxBatch: *maxBatch, MaxDelay: *maxDelay, Flushers: *flushers,
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "sumd:", err)
 		return 2
 	}
+	// Drain the async batcher on every exit path so accepted batches are
+	// never dropped.
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "sumd:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "sumd: engine=%s listening on %s\n", srv.Engine(), ln.Addr())
+	mode := "sync"
+	if *async {
+		mode = "async"
+	}
+	fmt.Fprintf(stdout, "sumd: engine=%s ingest=%s listening on %s\n", srv.Engine(), mode, ln.Addr())
 
 	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"regexp"
 	"strings"
@@ -26,6 +27,81 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if got := run(ctx, []string{"-addr", "256.256.256.256:1"}, &out, &errb); got != 1 {
 		t.Errorf("unbindable addr: exit %d, want 1", got)
+	}
+	// Async tuning knobs are meaningless without -async: misconfiguration
+	// must fail loudly at startup, not be silently ignored.
+	for _, args := range [][]string{
+		{"-queue", "8"},
+		{"-maxbatch", "1024"},
+		{"-maxdelay", "1ms"},
+		{"-flushers", "2"},
+	} {
+		errb.Reset()
+		if got := run(ctx, args, &out, &errb); got != 2 {
+			t.Errorf("%v without -async: exit %d, want 2", args, got)
+		}
+		if !strings.Contains(errb.String(), "require -async") {
+			t.Errorf("%v: stderr %q does not explain the -async requirement", args, errb.String())
+		}
+	}
+}
+
+func TestRunAsyncModeServesBatchedIngest(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	outc := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		var errb strings.Builder
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-shards", "2",
+			"-async", "-queue", "64", "-maxbatch", "256", "-maxdelay", "1ms", "-flushers", "2",
+		}, &lineWriter{c: outc}, &errb)
+	}()
+
+	var addr string
+	select {
+	case line := <-outc:
+		if !strings.Contains(line, "ingest=async") {
+			t.Errorf("startup line %q does not report async ingest", line)
+		}
+		m := regexp.MustCompile(`listening on (\S+)`).FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("no address in %q", line)
+		}
+		addr = m[1]
+	case <-time.After(5 * time.Second):
+		t.Fatal("sumd did not report a listen address")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/add", "application/json", strings.NewReader(`{"values":[1.5,2.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batched add: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "sumd_ingest_enqueued_total") {
+		t.Error("/metrics of an async daemon lacks the ingest families")
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("clean shutdown exit %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sumd did not shut down")
 	}
 }
 

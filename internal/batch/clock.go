@@ -1,0 +1,153 @@
+package batch
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the two time operations the batcher performs — reading
+// the wall clock for flush-latency accounting and arming the MaxDelay
+// deadline timer — so the deadline-flush tests can drive time by hand
+// instead of sleeping. Production code uses RealClock.
+type Clock interface {
+	Now() time.Time
+	// NewTimer returns a stopped timer; arm it with Reset.
+	NewTimer() Timer
+}
+
+// Timer is the subset of time.Timer the flusher needs. Reset and Stop
+// follow the Go 1.23 timer semantics: after Stop or Reset returns, the
+// timer's channel holds no stale fire from an earlier arming.
+type Timer interface {
+	C() <-chan time.Time
+	Reset(d time.Duration)
+	Stop()
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+func (RealClock) Now() time.Time { return time.Now() }
+
+func (RealClock) NewTimer() Timer {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return realTimer{t}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time   { return r.t.C }
+func (r realTimer) Reset(d time.Duration) { r.t.Reset(d) }
+func (r realTimer) Stop()                 { r.t.Stop() }
+
+// FakeClock is a manually advanced Clock for deterministic deadline
+// tests. Advance moves time forward and fires every due timer in
+// (deadline, creation) order, so "the earlier MaxDelay expires first" is
+// a testable property rather than a scheduling accident.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// NewFakeClock returns a FakeClock at the Unix epoch.
+func NewFakeClock() *FakeClock { return &FakeClock{now: time.Unix(0, 0)} }
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) NewTimer() Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clk: c, ch: make(chan time.Time, 1)}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d and fires every armed timer whose
+// deadline has passed, earliest deadline first (creation order breaks
+// ties).
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []*fakeTimer
+	for _, t := range c.timers {
+		if t.armed && !t.when.After(now) {
+			t.armed = false
+			due = append(due, t)
+		}
+	}
+	sort.SliceStable(due, func(i, j int) bool { return due[i].when.Before(due[j].when) })
+	// Deliver under the lock so a concurrent Reset/Stop (which drains
+	// under the same lock) cannot interleave between the armed check and
+	// the send. A timer fires at most once per arming and arming drains
+	// the buffer, so the one-slot channel never blocks here.
+	for _, t := range due {
+		select {
+		case t.ch <- now:
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Armed reports how many timers are currently armed — tests use it to
+// wait until the flusher has set its deadline before advancing time.
+func (c *FakeClock) Armed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if t.armed {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockUntilArmed polls until at least n timers are armed. It is a test
+// aid: enqueue, BlockUntilArmed(1), then Advance(MaxDelay).
+func (c *FakeClock) BlockUntilArmed(n int) {
+	for c.Armed() < n {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+type fakeTimer struct {
+	clk   *FakeClock
+	ch    chan time.Time
+	when  time.Time
+	armed bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Reset(d time.Duration) {
+	t.clk.mu.Lock()
+	t.when = t.clk.now.Add(d)
+	t.armed = true
+	t.drain()
+	t.clk.mu.Unlock()
+}
+
+func (t *fakeTimer) Stop() {
+	t.clk.mu.Lock()
+	t.armed = false
+	t.drain()
+	t.clk.mu.Unlock()
+}
+
+// drain clears a pending fire so Reset/Stop match the Go 1.23 timer
+// contract the flusher relies on. Caller holds clk.mu.
+func (t *fakeTimer) drain() {
+	select {
+	case <-t.ch:
+	default:
+	}
+}

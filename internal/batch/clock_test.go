@@ -1,0 +1,98 @@
+package batch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockFiresOnlyDueTimers(t *testing.T) {
+	clk := NewFakeClock()
+	early := clk.NewTimer()
+	late := clk.NewTimer()
+	early.Reset(time.Millisecond)
+	late.Reset(5 * time.Millisecond)
+	if clk.Armed() != 2 {
+		t.Fatalf("Armed = %d, want 2", clk.Armed())
+	}
+
+	clk.Advance(2 * time.Millisecond)
+	select {
+	case <-early.C():
+	default:
+		t.Fatal("early timer did not fire at its deadline")
+	}
+	select {
+	case <-late.C():
+		t.Fatal("late timer fired before its deadline")
+	default:
+	}
+	if clk.Armed() != 1 {
+		t.Fatalf("Armed after first advance = %d, want 1", clk.Armed())
+	}
+
+	clk.Advance(3 * time.Millisecond)
+	select {
+	case <-late.C():
+	default:
+		t.Fatal("late timer did not fire once due")
+	}
+}
+
+func TestFakeClockResetDrainsStaleFire(t *testing.T) {
+	clk := NewFakeClock()
+	tm := clk.NewTimer()
+	tm.Reset(time.Millisecond)
+	clk.Advance(time.Millisecond) // fire is now buffered
+	tm.Reset(time.Minute)         // re-arm: the stale fire must be gone
+	select {
+	case <-tm.C():
+		t.Fatal("Reset left a stale fire in the channel")
+	default:
+	}
+	clk.Advance(time.Minute)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("re-armed timer did not fire at its new deadline")
+	}
+}
+
+func TestFakeClockStopPreventsFire(t *testing.T) {
+	clk := NewFakeClock()
+	tm := clk.NewTimer()
+	tm.Reset(time.Millisecond)
+	tm.Stop()
+	clk.Advance(time.Hour)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if clk.Armed() != 0 {
+		t.Fatalf("Armed = %d after Stop, want 0", clk.Armed())
+	}
+}
+
+func TestFakeClockAdvanceIsMonotone(t *testing.T) {
+	clk := NewFakeClock()
+	t0 := clk.Now()
+	clk.Advance(3 * time.Second)
+	if got := clk.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("Now advanced by %v, want 3s", got)
+	}
+}
+
+func TestRealClockTimerStartsStopped(t *testing.T) {
+	tm := RealClock{}.NewTimer()
+	select {
+	case <-tm.C():
+		t.Fatal("fresh timer fired without Reset")
+	case <-time.After(5 * time.Millisecond):
+	}
+	tm.Reset(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("armed real timer never fired")
+	}
+}

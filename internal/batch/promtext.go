@@ -1,0 +1,371 @@
+package batch
+
+// Prometheus text-format exposition (version 0.0.4) and a conformance
+// linter for it. The writer side is what GET /metrics serves; the linter
+// side is what the CI metrics-lint step runs against two consecutive
+// scrapes: structural conformance (HELP/TYPE before samples, no
+// duplicate series, histogram bucket coherence) plus cross-scrape
+// counter monotonicity. Implementing the linter next to the writer keeps
+// the exposition honest without importing a metrics dependency.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromWriter accumulates a text-format exposition. Not safe for
+// concurrent use; build one per scrape.
+type PromWriter struct {
+	b strings.Builder
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter emits one unlabelled counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	fmt.Fprintf(&p.b, "%s %s\n", name, formatValue(v))
+}
+
+// CounterVec emits one counter family with one label; pairs alternate
+// labelValue, value order as given.
+func (p *PromWriter) CounterVec(name, help, label string, values map[string]float64) {
+	p.header(name, help, "counter")
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&p.b, "%s{%s=%q} %s\n", name, label, k, formatValue(values[k]))
+	}
+}
+
+// Gauge emits one unlabelled gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	fmt.Fprintf(&p.b, "%s %s\n", name, formatValue(v))
+}
+
+// Histogram emits one histogram family from per-bucket counts (counts
+// has len(bounds)+1 entries, the last being the +Inf bucket) and the
+// observed-value sum. Bucket samples are cumulative, per the format.
+func (p *PromWriter) Histogram(name, help string, bounds []float64, counts []int64, sum float64) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, bound := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(&p.b, "%s_bucket{le=%q} %d\n", name, formatValue(bound), cum)
+	}
+	cum += counts[len(bounds)]
+	fmt.Fprintf(&p.b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(&p.b, "%s_sum %s\n", name, formatValue(sum))
+	fmt.Fprintf(&p.b, "%s_count %d\n", name, cum)
+}
+
+// Bytes returns the exposition built so far.
+func (p *PromWriter) Bytes() []byte { return []byte(p.b.String()) }
+
+// PromSample is one series: a metric name, its raw label block (the text
+// between the braces, "" when unlabelled), and the sample value.
+type PromSample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// PromFamily is one metric family as scraped: metadata plus its samples
+// in exposition order.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// series returns the value of the sample with the given suffixed name
+// and label block.
+func (f *PromFamily) series(name, labels string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseProm parses a text-format exposition, enforcing structural
+// conformance as it goes: sample lines must parse, every sample must
+// belong to a family whose HELP and TYPE were declared first, TYPE must
+// be valid, and no series (name + label block) may appear twice. It
+// returns the families keyed by name.
+func ParseProm(data []byte) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	seen := make(map[string]bool) // name + "\x00" + labels
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				fams[name] = f
+			}
+			switch kind {
+			case "HELP":
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: HELP for %s after its samples", lineNo, name)
+				}
+				f.Help = rest
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: invalid TYPE %q for %s", lineNo, rest, name)
+				}
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.Type = rest
+			}
+			continue
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(fams, name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE", lineNo, name)
+		}
+		if fam.Help == "" || fam.Type == "" {
+			return nil, fmt.Errorf("line %d: family %s is missing %s", lineNo, fam.Name,
+				map[bool]string{true: "HELP", false: "TYPE"}[fam.Help == ""])
+		}
+		key := name + "\x00" + labels
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, name, labels)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, PromSample{Name: name, Labels: labels, Value: val})
+	}
+	return fams, nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", "", nil // free-form comment, ignored
+	}
+	if len(fields) < 4 {
+		return "", "", "", fmt.Errorf("malformed %s line %q", fields[1], line)
+	}
+	if !validName(fields[2]) {
+		return "", "", "", fmt.Errorf("invalid metric name %q in %s line", fields[2], fields[1])
+	}
+	return fields[1], fields[2], fields[3], nil
+}
+
+func parseSample(line string) (name, labels string, val float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample line %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value in %q: %v", line, perr)
+	}
+	return name, labels, v, nil
+}
+
+// familyFor resolves the family a sample belongs to: its own name, or —
+// for histogram/summary children — the name with the _bucket/_sum/_count
+// suffix stripped.
+func familyFor(fams map[string]*PromFamily, name string) *PromFamily {
+	if f := fams[name]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := fams[base]; f != nil && (f.Type == "histogram" || f.Type == "summary" || f.Type == "") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// LintProm parses data and applies the semantic checks a single scrape
+// can carry: counters are finite and non-negative, histograms have
+// monotone cumulative buckets ending in a +Inf bucket that equals
+// _count. It returns the parsed families for cross-scrape checks.
+func LintProm(data []byte) (map[string]*PromFamily, error) {
+	fams, err := ParseProm(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if math.IsNaN(s.Value) || s.Value < 0 {
+					return nil, fmt.Errorf("counter %s{%s} has invalid value %v", s.Name, s.Labels, s.Value)
+				}
+			}
+		case "histogram":
+			if err := lintHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func lintHistogram(f *PromFamily) error {
+	prev := math.Inf(-1)
+	var cum float64
+	sawInf := false
+	first := true
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_bucket" {
+			continue
+		}
+		leStr, ok := labelValue(s.Labels, "le")
+		if !ok {
+			return fmt.Errorf("histogram %s bucket without le label: {%s}", f.Name, s.Labels)
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %s has bad le %q", f.Name, leStr)
+		}
+		if !first && le <= prev {
+			return fmt.Errorf("histogram %s buckets out of order (le=%v after %v)", f.Name, le, prev)
+		}
+		if s.Value < cum {
+			return fmt.Errorf("histogram %s bucket le=%q not cumulative (%v < %v)", f.Name, leStr, s.Value, cum)
+		}
+		prev, cum, first = le, s.Value, false
+		if math.IsInf(le, +1) {
+			sawInf = true
+		}
+	}
+	if first {
+		return fmt.Errorf("histogram %s has no buckets", f.Name)
+	}
+	if !sawInf {
+		return fmt.Errorf("histogram %s is missing the +Inf bucket", f.Name)
+	}
+	count, ok := f.series(f.Name+"_count", "")
+	if !ok {
+		return fmt.Errorf("histogram %s is missing _count", f.Name)
+	}
+	if _, ok := f.series(f.Name+"_sum", ""); !ok {
+		return fmt.Errorf("histogram %s is missing _sum", f.Name)
+	}
+	if count != cum {
+		return fmt.Errorf("histogram %s _count %v != +Inf bucket %v", f.Name, count, cum)
+	}
+	return nil
+}
+
+// labelValue extracts one label's (unescaped) value from a raw label
+// block like `le="0.001",code="200"`.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || strings.TrimSpace(k) != key {
+			continue
+		}
+		unq, err := strconv.Unquote(strings.TrimSpace(v))
+		if err != nil {
+			return "", false
+		}
+		return unq, true
+	}
+	return "", false
+}
+
+// CheckMonotone verifies that no counter went backwards between two
+// scrapes: every counter series (including histogram buckets, _sum and
+// _count) present in prev must exist in cur with a value >= its previous
+// one.
+func CheckMonotone(prev, cur map[string]*PromFamily) error {
+	for name, pf := range prev {
+		if pf.Type != "counter" && pf.Type != "histogram" {
+			continue
+		}
+		cf := cur[name]
+		if cf == nil {
+			return fmt.Errorf("counter family %s disappeared between scrapes", name)
+		}
+		for _, ps := range pf.Samples {
+			cv, ok := cf.series(ps.Name, ps.Labels)
+			if !ok {
+				return fmt.Errorf("series %s{%s} disappeared between scrapes", ps.Name, ps.Labels)
+			}
+			if cv < ps.Value {
+				return fmt.Errorf("series %s{%s} went backwards: %v -> %v", ps.Name, ps.Labels, ps.Value, cv)
+			}
+		}
+	}
+	return nil
+}

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -9,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parsum/internal/batch"
 	"parsum/internal/engine"
 	"parsum/internal/gen"
 	"parsum/internal/shard"
@@ -16,14 +19,20 @@ import (
 
 // IngestPoint is one measured cell of the concurrent-ingestion benchmark:
 // an engine at a writer count and batch size, ingesting through a Sharded
-// accumulator with one shard per writer.
+// accumulator with one shard per writer. The async columns measure the
+// same workload submitted through the internal/batch front-end (bounded
+// queue, size-or-deadline flush, writers retrying on rejection) instead
+// of calling AddBatch directly.
 type IngestPoint struct {
-	Engine   string  `json:"engine"`
-	Writers  int     `json:"writers"`
-	Batch    int     `json:"batch"`
-	NsPerOp  int64   `json:"ns_per_op"` // full ingestion + final Sum
-	MopsPerS float64 `json:"mops_per_s"`
-	Speedup  float64 `json:"speedup_vs_base"` // vs the same engine/batch at its lowest writer count
+	Engine       string  `json:"engine"`
+	Writers      int     `json:"writers"`
+	Batch        int     `json:"batch"`
+	NsPerOp      int64   `json:"ns_per_op"` // full ingestion + final Sum
+	MopsPerS     float64 `json:"mops_per_s"`
+	Speedup      float64 `json:"speedup_vs_base"` // vs the same engine/batch at its lowest writer count
+	AsyncNsPerOp int64   `json:"async_ns_per_op"`
+	AsyncMops    float64 `json:"async_mops_per_s"`
+	AsyncRatio   float64 `json:"async_vs_sync"` // AsyncMops / MopsPerS
 }
 
 // IngestSnapshot is the recorded result of IngestBench, written by
@@ -75,6 +84,7 @@ func IngestBench(n int64, delta int, writerList, batchSizes []int, engines []str
 		for _, batch := range batchSizes {
 			for _, w := range writerList {
 				best := time.Duration(1<<63 - 1)
+				bestAsync := best
 				for r := 0; r < reps; r++ {
 					d, got := ingestOnce(xs, name, w, batch)
 					if math.Float64bits(got) != math.Float64bits(want) {
@@ -84,13 +94,26 @@ func IngestBench(n int64, delta int, writerList, batchSizes []int, engines []str
 					if d < best {
 						best = d
 					}
+					d, got = ingestAsyncOnce(xs, name, w, batch)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						panic(fmt.Sprintf("bench: async ingest %s writers=%d batch=%d: sum %g != sequential %g",
+							name, w, batch, got, want))
+					}
+					if d < bestAsync {
+						bestAsync = d
+					}
 				}
+				syncMops := float64(n) / best.Seconds() / 1e6
+				asyncMops := float64(n) / bestAsync.Seconds() / 1e6
 				points = append(points, IngestPoint{
-					Engine:   name,
-					Writers:  w,
-					Batch:    batch,
-					NsPerOp:  best.Nanoseconds(),
-					MopsPerS: float64(n) / best.Seconds() / 1e6,
+					Engine:       name,
+					Writers:      w,
+					Batch:        batch,
+					NsPerOp:      best.Nanoseconds(),
+					MopsPerS:     syncMops,
+					AsyncNsPerOp: bestAsync.Nanoseconds(),
+					AsyncMops:    asyncMops,
+					AsyncRatio:   asyncMops / syncMops,
 				})
 			}
 		}
@@ -144,25 +167,101 @@ func ingestOnce(xs []float64, engineName string, writers, batch int) (time.Durat
 	return time.Since(start), got
 }
 
+// asyncPipeline is how many requests each async "writer" keeps in
+// flight. Add is group commit — it returns only after the flush carrying
+// its batch — so a writer submitting one batch at a time would be
+// latency-bound on the flush deadline, which is not what a loaded
+// service sees: concurrent HTTP clients keep many requests pending. Each
+// writer therefore runs asyncPipeline submitter goroutines, the
+// in-process analogue of that concurrency.
+const asyncPipeline = 16
+
+// ingestAsyncOnce times the same workload as ingestOnce submitted
+// through the batch front-end: writers×asyncPipeline submitters enqueue
+// batch-sized ranges into a bounded-queue Batcher (one flusher per
+// writer so flush work can use the same parallelism the sync path gets)
+// and spin-retry on rejection — the in-process analogue of the HTTP
+// client's 429/backoff loop. The final Sum closes the cell after Close
+// drains the queue.
+func ingestAsyncOnce(xs []float64, engineName string, writers, batchSize int) (time.Duration, float64) {
+	s, err := shard.New(shard.Options{Engine: engineName, Shards: writers})
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	submitters := writers * asyncPipeline
+	// Size the flush trigger below the total in-flight value count so
+	// flushes fire on size while the pipeline stays full; the deadline
+	// only catches the final partial group.
+	maxBatch := submitters * batchSize / 2
+	if maxBatch < batchSize {
+		maxBatch = batchSize
+	}
+	if maxBatch > 1<<14 {
+		maxBatch = 1 << 14
+	}
+	b := batch.New(s, batch.Options{
+		QueueLen: 4 * submitters,
+		MaxBatch: maxBatch,
+		MaxDelay: 100 * time.Microsecond,
+		Flushers: writers,
+	})
+	ctx := context.Background()
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(batchSize))) - batchSize
+				if lo >= len(xs) {
+					return
+				}
+				hi := min(lo+batchSize, len(xs))
+				for {
+					err := b.Add(ctx, xs[lo:hi])
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, batch.ErrQueueFull) {
+						panic("bench: " + err.Error())
+					}
+					// Park instead of spinning: on few cores a busy
+					// retry loop starves the flusher it is waiting on.
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.Close()
+	got := s.Sum()
+	return time.Since(start), got
+}
+
 // Table renders the snapshot as one experiment table.
 func (s IngestSnapshot) Table() Table {
 	t := Table{
 		Title:  fmt.Sprintf("T-INGEST — sharded concurrent ingestion (n=%d, δ=%d, GOMAXPROCS=%d, best of %d)", s.N, s.Delta, s.GoMaxProcs, s.Reps),
 		XLabel: "engine/writers/batch",
-		Series: []string{"time", "Mops/s", "speedup"},
+		Series: []string{"time", "Mops/s", "speedup", "async Mops/s", "async/sync"},
 	}
 	for _, p := range s.Points {
 		t.Rows = append(t.Rows, Row{
 			X: fmt.Sprintf("%s/%d/%d", p.Engine, p.Writers, p.Batch),
 			Values: map[string]string{
-				"time":    secs(time.Duration(p.NsPerOp)),
-				"Mops/s":  fmt.Sprintf("%.1f", p.MopsPerS),
-				"speedup": fmt.Sprintf("%.2fx", p.Speedup),
+				"time":         secs(time.Duration(p.NsPerOp)),
+				"Mops/s":       fmt.Sprintf("%.1f", p.MopsPerS),
+				"speedup":      fmt.Sprintf("%.2fx", p.Speedup),
+				"async Mops/s": fmt.Sprintf("%.1f", p.AsyncMops),
+				"async/sync":   fmt.Sprintf("%.2fx", p.AsyncRatio),
 			},
 		})
 	}
 	t.Notes = append(t.Notes,
-		"one shard per writer; every cell's sum verified bit-identical to the sequential engine")
+		"one shard per writer; every cell's sum verified bit-identical to the sequential engine",
+		"async = same workload through the internal/batch bounded-queue front-end (writers spin-retry on rejection)")
 	return t
 }
 

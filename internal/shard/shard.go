@@ -175,6 +175,52 @@ func (s *Sharded) AddBatch(xs []float64) {
 	s.tokens.Put(t)
 }
 
+// AddBatches accumulates every slice in batches exactly into one shard
+// under a single striped-lock acquisition. It is the batcher's flush
+// entry point (batch.SliceSink): a coalesced flush group applies
+// without concatenating request bodies, for the same accumulation work
+// the slices would have cost individually minus the per-request
+// locking. Exactness is unaffected — each value still lands in exactly
+// one shard accumulator.
+func (s *Sharded) AddBatches(batches [][]float64) {
+	if len(batches) == 0 {
+		return
+	}
+	t, _ := s.tokens.Get().(*token)
+	if t == nil {
+		t = &token{idx: s.rr.Add(1) % uint32(len(s.shards))}
+	}
+	sl := &s.shards[t.idx]
+	sl.mu.Lock()
+	for _, xs := range batches {
+		sl.acc.AddSlice(xs)
+	}
+	sl.mu.Unlock()
+	s.tokens.Put(t)
+}
+
+// SubBatches deletes every slice in batches exactly under a single
+// striped-lock acquisition — the deletion half of the batcher's flush
+// entry point. Panics when the engine is not Invertible.
+func (s *Sharded) SubBatches(batches [][]float64) {
+	s.checkInvertible()
+	if len(batches) == 0 {
+		return
+	}
+	t, _ := s.tokens.Get().(*token)
+	if t == nil {
+		t = &token{idx: s.rr.Add(1) % uint32(len(s.shards))}
+	}
+	sl := &s.shards[t.idx]
+	sl.mu.Lock()
+	inv := sl.acc.(engine.Inverter)
+	for _, xs := range batches {
+		inv.SubSlice(xs)
+	}
+	sl.mu.Unlock()
+	s.tokens.Put(t)
+}
+
 // Sub deletes x from the accumulated sum exactly, landing in one shard.
 // Deletion is as exact as insertion (the backing representation is a
 // group): any interleaving of adds and subs that leaves the same multiset

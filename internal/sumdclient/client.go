@@ -13,21 +13,44 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"parsum"
 	"parsum/internal/sumdsrv"
 )
 
 // Client talks to one sumd service.
+//
+// When the service runs the async ingestion front-end it sheds overload
+// with 429 + Retry-After, guaranteeing the rejected batch left no trace
+// in the accumulator — which makes a blind re-send of the same batch
+// safe. Set Retry429 to have the client do that automatically with
+// jittered exponential backoff. Configure the retry fields before the
+// first request; they must not be mutated concurrently with use.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Retry429 is the maximum number of times one request shed with
+	// HTTP 429 is re-sent before the error is returned. 0 disables
+	// retrying.
+	Retry429 int
+	// RetryBase is the first backoff delay; it doubles per attempt with
+	// full jitter (a uniform draw from [d/2, d)), capped by the
+	// server's Retry-After hint. 0 means 2ms.
+	RetryBase time.Duration
+
+	retried atomic.Int64
+	sleep   func(ctx context.Context, d time.Duration) error // test hook
 }
 
 // New returns a Client for the sumd service at baseURL (e.g.
@@ -36,20 +59,75 @@ func New(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, sleep: sleepCtx}
 }
 
 // apiError is a non-2xx response from the service.
 type apiError struct {
-	Status  int
-	Message string
+	Status     int
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After hint, 0 when absent
 }
 
 func (e *apiError) Error() string {
 	return fmt.Sprintf("sumd: HTTP %d: %s", e.Status, e.Message)
 }
 
+// Retried429 reports how many 429-shed requests the client has re-sent
+// over its lifetime — the number of admission-control collisions, which
+// load tests cross-check against the service's rejected counter.
+func (c *Client) Retried429() int64 { return c.retried.Load() }
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do issues one request, re-sending it with jittered exponential backoff
+// for up to Retry429 attempts when the service sheds it with 429 (safe:
+// a 429 guarantees the batch was not applied).
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+	data, err := c.doOnce(ctx, method, path, contentType, body)
+	for attempt := 0; attempt < c.Retry429; attempt++ {
+		var ae *apiError
+		if err == nil || !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+			return data, err
+		}
+		c.retried.Add(1)
+		if serr := c.sleep(ctx, backoff(c.RetryBase, attempt, ae.RetryAfter)); serr != nil {
+			return nil, serr
+		}
+		data, err = c.doOnce(ctx, method, path, contentType, body)
+	}
+	return data, err
+}
+
+// backoff returns the delay before retry number attempt (0-based):
+// base<<attempt with full jitter (uniform in [d/2, d)), capped at the
+// server's Retry-After hint when one was given — the hint is an upper
+// bound on useful waiting, since the ingest queue drains at least once
+// per MaxDelay which the hint over-approximates in whole seconds.
+func backoff(base time.Duration, attempt int, retryAfter time.Duration) time.Duration {
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := base << attempt
+	if retryAfter > 0 && d > retryAfter {
+		d = retryAfter
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -79,7 +157,11 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if json.Unmarshal(data, &je) == nil && je.Error != "" {
 			msg = je.Error
 		}
-		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+		ae := &apiError{Status: resp.StatusCode, Message: msg}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, ae
 	}
 	return data, nil
 }

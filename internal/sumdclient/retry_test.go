@@ -1,0 +1,171 @@
+package sumdclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedServer sheds the first reject requests to /v1/add with 429 +
+// Retry-After, then accepts.
+func shedServer(t *testing.T, reject int64, retryAfterSecs string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/add" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if hits.Add(1) <= reject {
+			if retryAfterSecs != "" {
+				w.Header().Set("Retry-After", retryAfterSecs)
+			}
+			http.Error(w, `{"error":"ingest queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &hits
+}
+
+func TestRetryOn429EventuallySucceeds(t *testing.T) {
+	hs, hits := shedServer(t, 2, "1")
+	c := New(hs.URL, hs.Client())
+	c.Retry429 = 5
+	c.RetryBase = time.Millisecond
+
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if err := c.AddBatch(context.Background(), []float64{1, 2, 3}); err != nil {
+		t.Fatalf("AddBatch with retry budget: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (2 shed + 1 accepted)", got)
+	}
+	if got := c.Retried429(); got != 2 {
+		t.Errorf("Retried429 = %d, want 2", got)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Attempt k waits base<<k with full jitter: a uniform draw from
+	// [d/2, d], capped by the server's 1s Retry-After (not binding here).
+	for k, d := range slept {
+		want := c.RetryBase << k
+		if d < want/2 || d > want {
+			t.Errorf("backoff %d = %v, want in [%v, %v]", k, d, want/2, want)
+		}
+	}
+}
+
+func TestRetryBudgetExhaustedSurfacesThe429(t *testing.T) {
+	hs, hits := shedServer(t, 1<<30, "1")
+	c := New(hs.URL, hs.Client())
+	c.Retry429 = 3
+	c.RetryBase = time.Microsecond
+	c.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+
+	err := c.AddBatch(context.Background(), []float64{1})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted budget: err = %v, want apiError 429", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Errorf("parsed Retry-After = %v, want 1s", ae.RetryAfter)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Errorf("server saw %d requests, want 4 (1 + 3 retries)", got)
+	}
+	if got := c.Retried429(); got != 3 {
+		t.Errorf("Retried429 = %d, want 3", got)
+	}
+}
+
+func TestZeroBudgetAndNon429AreNotRetried(t *testing.T) {
+	hs, hits := shedServer(t, 1<<30, "1")
+	c := New(hs.URL, hs.Client())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t.Error("slept with Retry429 = 0")
+		return nil
+	}
+	if err := c.AddBatch(context.Background(), []float64{1}); err == nil {
+		t.Fatal("shed request with no budget returned nil")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1", got)
+	}
+
+	// Non-429 failures are not admission control and must not be re-sent.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	c2 := New(bad.URL, bad.Client())
+	c2.Retry429 = 5
+	c2.sleep = func(ctx context.Context, d time.Duration) error {
+		t.Error("slept on a 500")
+		return nil
+	}
+	var ae *apiError
+	if err := c2.AddBatch(context.Background(), []float64{1}); !errors.As(err, &ae) || ae.Status != 500 {
+		t.Fatalf("err = %v, want apiError 500", err)
+	}
+	if c2.Retried429() != 0 {
+		t.Errorf("500 counted as a 429 retry")
+	}
+}
+
+func TestRetrySleepHonorsContext(t *testing.T) {
+	hs, _ := shedServer(t, 1<<30, "1")
+	c := New(hs.URL, hs.Client())
+	c.Retry429 = 5
+	c.RetryBase = time.Hour // the real sleepCtx must be interruptible
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.AddBatch(ctx, []float64{1}) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled retry sleep never returned")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	const base = 2 * time.Millisecond
+	for attempt := 0; attempt <= 6; attempt++ {
+		for trial := 0; trial < 50; trial++ {
+			d := backoff(base, attempt, 0)
+			want := base << attempt
+			if d < want/2 || d > want {
+				t.Fatalf("backoff(%v, %d, 0) = %v, outside [%v, %v]", base, attempt, d, want/2, want)
+			}
+		}
+	}
+	// The server's Retry-After hint caps the exponential curve.
+	for trial := 0; trial < 50; trial++ {
+		if d := backoff(time.Second, 10, 3*time.Second); d > 3*time.Second {
+			t.Fatalf("Retry-After cap ignored: %v", d)
+		}
+	}
+	// Zero base falls back to the documented 2ms default.
+	if d := backoff(0, 0, 0); d < time.Millisecond || d > 2*time.Millisecond {
+		t.Fatalf("backoff(0, 0, 0) = %v, want in [1ms, 2ms]", d)
+	}
+	// Huge attempts must not overflow into negative durations.
+	if d := backoff(time.Second, 63, time.Minute); d <= 0 || d > time.Minute {
+		t.Fatalf("backoff at clamped attempt = %v", d)
+	}
+}

@@ -9,7 +9,7 @@
 // partitioned across workers, the order partials arrive, or how many
 // shards the service runs.
 //
-// Endpoints (all under /v1):
+// Endpoints (all under /v1, plus the conventional /metrics):
 //
 //	POST /v1/add      raw little-endian float64s (application/octet-stream)
 //	                  or JSON {"values":[...]} — ingest values directly
@@ -23,11 +23,28 @@
 //	                  instances can chain into reduction trees
 //	GET  /v1/sum      {"sum":"<decimal>","bits":"<hex>",...} — rounded once
 //	POST /v1/reset    empty the accumulator
-//	GET  /v1/stats    ingestion counters
+//	GET  /v1/stats    ingestion counters (JSON; includes the async
+//	                  batcher's counters when async mode is on)
 //	GET  /v1/healthz  liveness + configuration
+//	GET  /metrics     the same counters in Prometheus text format
 //
 // Malformed payloads are rejected with 400 (decode error) or 409 (engine
 // mismatch) and never disturb accumulated state; bodies are size-capped.
+//
+// # Async ingestion
+//
+// With Options.Async, /v1/add and /v1/sub stop walking the accumulator
+// under the request goroutine and instead enqueue into an internal/batch
+// Batcher: a bounded queue drained by flusher goroutines on a
+// size-or-deadline trigger (Options.MaxBatch, Options.MaxDelay). The
+// handler replies 200 only after the flush containing its values has
+// completed (group commit), so "accepted" still means "applied": any sum
+// requested after a 200 observes those values, and the exactness
+// guarantee is unchanged — batching only regroups additions inside a
+// commutative group. When the queue is full the request is rejected
+// immediately with 429 and a Retry-After hint, accumulated state
+// untouched, so ingest overload degrades to shed load rather than to
+// unbounded queueing.
 package sumdsrv
 
 import (
@@ -41,10 +58,11 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"parsum"
+	"parsum/internal/batch"
 	"parsum/internal/shard"
 )
 
@@ -66,22 +84,92 @@ type Options struct {
 	// 413 and never disturbs accumulated state. 0 means the MaxBodyBytes
 	// constant; negative is rejected by New.
 	MaxBodyBytes int64
+	// Async routes /v1/add and /v1/sub through the batched ingestion
+	// front-end (see the package comment). Off by default: the sync
+	// path remains the escape hatch.
+	Async bool
+	// QueueLen, MaxBatch, MaxDelay and Flushers configure the batcher
+	// when Async is set (0 means the internal/batch defaults: 256
+	// requests, 4096 values, 2ms, 1 flusher). Ignored in sync mode.
+	QueueLen int
+	MaxBatch int
+	MaxDelay time.Duration
+	Flushers int
+	// WrapSink, when non-nil, wraps the accumulator before the batcher
+	// attaches to it. Test seam: e2e tests interpose a gated sink to
+	// hold a flush open and pin the full-queue 429 contract
+	// deterministically. Ignored in sync mode.
+	WrapSink func(batch.Sink) batch.Sink
+}
+
+// counters is the server-level ingestion ledger. One mutex guards every
+// field and Snapshot copies them under the same mutex, so a /v1/stats
+// response can never tear — e.g. report a batch whose values are not
+// counted yet. (These were independent atomics once; a scrape landing
+// between two atomic increments could observe batches > 0 with values
+// still 0.)
+type counters struct {
+	mu         sync.Mutex
+	values     int64 // raw float64s ingested via /v1/add
+	batches    int64 // /v1/add requests
+	removed    int64 // raw float64s deleted via /v1/sub
+	subBatches int64 // /v1/sub requests
+	partials   int64 // wire partials merged via POST /v1/partial
+	sums       int64 // /v1/sum and GET /v1/partial responses
+	rejected   int64 // /v1/add + /v1/sub requests shed with 429
+}
+
+func (c *counters) addBatch(n int) {
+	c.mu.Lock()
+	c.batches++
+	c.values += int64(n)
+	c.mu.Unlock()
+}
+
+func (c *counters) subBatch(n int) {
+	c.mu.Lock()
+	c.subBatches++
+	c.removed += int64(n)
+	c.mu.Unlock()
+}
+
+func (c *counters) bump(field *int64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+// counterSnap is a consistent copy of the ledger (no lock inside, so it
+// can be passed around by value).
+type counterSnap struct {
+	values, batches, removed, subBatches, partials, sums, rejected int64
+}
+
+func (c *counters) snapshot() counterSnap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return counterSnap{
+		values: c.values, batches: c.batches,
+		removed: c.removed, subBatches: c.subBatches,
+		partials: c.partials, sums: c.sums, rejected: c.rejected,
+	}
 }
 
 // Server is the merge service. It implements http.Handler and is safe for
 // concurrent use.
 type Server struct {
 	sh      *parsum.Sharded
+	bat     *batch.Batcher // nil in sync mode
 	mux     *http.ServeMux
 	start   time.Time
 	maxBody int64
+	// retryAfter is the precomputed Retry-After header value for 429
+	// responses: the queue drains at least every MaxDelay, so waiting
+	// that long (rounded up to the header's 1s granularity) is always
+	// enough.
+	retryAfter string
 
-	values     atomic.Int64 // raw float64s ingested via /v1/add
-	batches    atomic.Int64 // /v1/add requests
-	removed    atomic.Int64 // raw float64s deleted via /v1/sub
-	subBatches atomic.Int64 // /v1/sub requests
-	partials   atomic.Int64 // wire partials merged via POST /v1/partial
-	sums       atomic.Int64 // /v1/sum and GET /v1/partial responses
+	st counters
 }
 
 // New returns a Server backed by a fresh Sharded accumulator. It errors
@@ -104,6 +192,23 @@ func New(opt Options) (*Server, error) {
 		return nil, fmt.Errorf("sumd: engine %q cannot serve wire partials: %w", sh.Engine(), err)
 	}
 	s := &Server{sh: sh, mux: http.NewServeMux(), start: time.Now(), maxBody: maxBody}
+	if opt.Async {
+		var sink batch.Sink = sh
+		if opt.WrapSink != nil {
+			sink = opt.WrapSink(sh)
+		}
+		s.bat = batch.New(sink, batch.Options{
+			QueueLen: opt.QueueLen,
+			MaxBatch: opt.MaxBatch,
+			MaxDelay: opt.MaxDelay,
+			Flushers: opt.Flushers,
+		})
+		secs := int64(math.Ceil((2 * s.bat.Options().MaxDelay).Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		s.retryAfter = strconv.FormatInt(secs, 10)
+	}
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
 	s.mux.HandleFunc("POST /v1/sub", s.handleSub)
 	s.mux.HandleFunc("POST /v1/partial", s.handlePushPartial)
@@ -112,11 +217,24 @@ func New(opt Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/reset", s.handleReset)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
 // Engine returns the registry name of the backing engine.
 func (s *Server) Engine() string { return s.sh.Engine() }
+
+// Async reports whether the batched ingestion front-end is on.
+func (s *Server) Async() bool { return s.bat != nil }
+
+// Close drains and stops the async batcher (flushing every admitted
+// batch) so accepted requests are never dropped on shutdown. It is a
+// no-op in sync mode and safe to call more than once.
+func (s *Server) Close() {
+	if s.bat != nil {
+		s.bat.Close()
+	}
+}
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -134,17 +252,42 @@ type SumResponse struct {
 	Shards int    `json:"shards"`
 }
 
-// StatsResponse is the GET /v1/stats payload.
+// StatsResponse is the GET /v1/stats payload. The server-level counters
+// are one consistent snapshot (taken under one lock); Async, when
+// present, is a second consistent snapshot of the batcher's ledger.
 type StatsResponse struct {
-	Engine        string `json:"engine"`
-	Shards        int    `json:"shards"`
-	Values        int64  `json:"values"`
-	Batches       int64  `json:"batches"`
-	Removed       int64  `json:"removed"`
-	SubBatches    int64  `json:"sub_batches"`
-	Partials      int64  `json:"partials"`
-	SumsServed    int64  `json:"sums_served"`
-	UptimeSeconds int64  `json:"uptime_seconds"`
+	Engine        string      `json:"engine"`
+	Shards        int         `json:"shards"`
+	Values        int64       `json:"values"`
+	Batches       int64       `json:"batches"`
+	Removed       int64       `json:"removed"`
+	SubBatches    int64       `json:"sub_batches"`
+	Partials      int64       `json:"partials"`
+	SumsServed    int64       `json:"sums_served"`
+	Rejected      int64       `json:"rejected"`
+	UptimeSeconds int64       `json:"uptime_seconds"`
+	Async         *AsyncStats `json:"async,omitempty"`
+}
+
+// AsyncStats is the batcher's configuration and counter snapshot inside
+// StatsResponse (async mode only).
+type AsyncStats struct {
+	QueueLen   int     `json:"queue_len"`
+	MaxBatch   int     `json:"max_batch"`
+	MaxDelayMs float64 `json:"max_delay_ms"`
+	Flushers   int     `json:"flushers"`
+
+	Enqueued        int64 `json:"enqueued"`
+	EnqueuedValues  int64 `json:"enqueued_values"`
+	Rejected        int64 `json:"rejected"`
+	Flushes         int64 `json:"flushes"`
+	FlushedRequests int64 `json:"flushed_requests"`
+	FlushedValues   int64 `json:"flushed_values"`
+	SizeFlushes     int64 `json:"size_flushes"`
+	DeadlineFlushes int64 `json:"deadline_flushes"`
+	DrainFlushes    int64 `json:"drain_flushes"`
+	QueueDepth      int64 `json:"queue_depth"`
+	FlushNsTotal    int64 `json:"flush_ns_total"`
 }
 
 // AddRequest is the JSON form of POST /v1/add and /v1/sub. The binary form
@@ -233,6 +376,47 @@ func decodeBatch(w http.ResponseWriter, r *http.Request, body []byte) (xs []floa
 	return req.Values, true
 }
 
+// ingest applies one decoded batch through the configured path: the
+// batcher in async mode (waiting for its flush — group commit), the
+// accumulator directly otherwise. It reports whether the batch was
+// accepted, writing the shed-load or failure response itself when not.
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request, xs []float64, sub bool) bool {
+	if s.bat == nil {
+		if sub {
+			s.sh.SubBatch(xs)
+		} else {
+			s.sh.AddBatch(xs)
+		}
+		return true
+	}
+	var err error
+	if sub {
+		err = s.bat.Sub(r.Context(), xs)
+	} else {
+		err = s.bat.Add(r.Context(), xs)
+	}
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, batch.ErrQueueFull):
+		// Fail fast, state untouched: the client should back off and
+		// retry after the queue has had a chance to drain.
+		s.st.bump(&s.st.rejected)
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeError(w, http.StatusTooManyRequests, err)
+		return false
+	case errors.Is(err, batch.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return false
+	default:
+		// The client abandoned the request mid-wait; the batch is
+		// admitted and will still be flushed, but there is nobody to
+		// tell. 499-style situations get a plain 503.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return false
+	}
+}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
@@ -242,9 +426,10 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.sh.AddBatch(xs)
-	s.batches.Add(1)
-	s.values.Add(int64(len(xs)))
+	if !s.ingest(w, r, xs, false) {
+		return
+	}
+	s.st.addBatch(len(xs))
 	writeJSON(w, http.StatusOK, AddResponse{Added: len(xs)})
 }
 
@@ -262,9 +447,10 @@ func (s *Server) handleSub(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.sh.SubBatch(xs)
-	s.subBatches.Add(1)
-	s.removed.Add(int64(len(xs)))
+	if !s.ingest(w, r, xs, true) {
+		return
+	}
+	s.st.subBatch(len(xs))
 	writeJSON(w, http.StatusOK, SubResponse{Removed: len(xs)})
 }
 
@@ -281,7 +467,7 @@ func (s *Server) handlePushPartial(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	s.partials.Add(1)
+	s.st.bump(&s.st.partials)
 	writeJSON(w, http.StatusOK, struct {
 		Merged int `json:"merged"`
 	}{Merged: 1})
@@ -293,7 +479,7 @@ func (s *Server) handleGetPartial(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.sums.Add(1)
+	s.st.bump(&s.st.sums)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	_, _ = w.Write(blob)
@@ -301,7 +487,7 @@ func (s *Server) handleGetPartial(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 	v := s.sh.Sum()
-	s.sums.Add(1)
+	s.st.bump(&s.st.sums)
 	writeJSON(w, http.StatusOK, SumResponse{
 		Sum:    strconv.FormatFloat(v, 'g', -1, 64),
 		Bits:   strconv.FormatUint(math.Float64bits(v), 16),
@@ -318,17 +504,93 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	c := s.st.snapshot()
+	resp := StatsResponse{
 		Engine:        s.sh.Engine(),
 		Shards:        s.sh.NumShards(),
-		Values:        s.values.Load(),
-		Batches:       s.batches.Load(),
-		Removed:       s.removed.Load(),
-		SubBatches:    s.subBatches.Load(),
-		Partials:      s.partials.Load(),
-		SumsServed:    s.sums.Load(),
+		Values:        c.values,
+		Batches:       c.batches,
+		Removed:       c.removed,
+		SubBatches:    c.subBatches,
+		Partials:      c.partials,
+		SumsServed:    c.sums,
+		Rejected:      c.rejected,
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
-	})
+	}
+	if s.bat != nil {
+		m := s.bat.Metrics()
+		o := s.bat.Options()
+		resp.Async = &AsyncStats{
+			QueueLen:   o.QueueLen,
+			MaxBatch:   o.MaxBatch,
+			MaxDelayMs: float64(o.MaxDelay) / float64(time.Millisecond),
+			Flushers:   o.Flushers,
+
+			Enqueued:        m.Enqueued,
+			EnqueuedValues:  m.EnqueuedValues,
+			Rejected:        m.Rejected,
+			Flushes:         m.Flushes,
+			FlushedRequests: m.FlushedRequests,
+			FlushedValues:   m.FlushedValues,
+			SizeFlushes:     m.SizeFlushes,
+			DeadlineFlushes: m.DeadlineFlushes,
+			DrainFlushes:    m.DrainFlushes,
+			QueueDepth:      m.QueueDepth,
+			FlushNsTotal:    m.FlushNs,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves every counter in Prometheus text format. Counter
+// families come from consistent snapshots (the server ledger under its
+// one lock, the batcher ledger under its one lock), so no series in a
+// scrape can contradict another from the same ledger.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.st.snapshot()
+	var p batch.PromWriter
+	p.Gauge("sumd_up", "Whether the service is serving (always 1 when scraped).", 1)
+	p.Gauge("sumd_shards", "Writer-stripe count of the backing sharded accumulator.", float64(s.sh.NumShards()))
+	p.Gauge("sumd_async", "Whether the batched async ingestion front-end is enabled.", b2f(s.bat != nil))
+	p.Gauge("sumd_uptime_seconds", "Seconds since the server was constructed.", time.Since(s.start).Seconds())
+	p.Counter("sumd_values_total", "Raw float64s accepted via /v1/add.", float64(c.values))
+	p.Counter("sumd_batches_total", "Accepted /v1/add requests.", float64(c.batches))
+	p.Counter("sumd_removed_total", "Raw float64s deleted via /v1/sub.", float64(c.removed))
+	p.Counter("sumd_sub_batches_total", "Accepted /v1/sub requests.", float64(c.subBatches))
+	p.Counter("sumd_partials_total", "Wire partials merged via POST /v1/partial.", float64(c.partials))
+	p.Counter("sumd_sums_served_total", "Sum and partial-snapshot responses served.", float64(c.sums))
+	p.Counter("sumd_rejected_total", "Ingest requests shed with 429 (queue full).", float64(c.rejected))
+	if s.bat != nil {
+		m := s.bat.Metrics()
+		o := s.bat.Options()
+		p.Gauge("sumd_ingest_queue_len", "Capacity of the bounded ingest queue (requests).", float64(o.QueueLen))
+		p.Gauge("sumd_ingest_max_batch", "Pending-value count that triggers a flush.", float64(o.MaxBatch))
+		p.Gauge("sumd_ingest_max_delay_seconds", "Latency budget before a deadline flush.", o.MaxDelay.Seconds())
+		p.Gauge("sumd_ingest_queue_depth", "Requests admitted but not yet flushed.", float64(m.QueueDepth))
+		p.Counter("sumd_ingest_enqueued_total", "Requests admitted to the ingest queue.", float64(m.Enqueued))
+		p.Counter("sumd_ingest_enqueued_values_total", "Float64s admitted to the ingest queue.", float64(m.EnqueuedValues))
+		p.Counter("sumd_ingest_rejected_total", "Requests refused because the ingest queue was full.", float64(m.Rejected))
+		p.Counter("sumd_ingest_flushes_total", "Coalesced flushes applied to the accumulator.", float64(m.Flushes))
+		p.Counter("sumd_ingest_flushed_values_total", "Float64s applied to the accumulator by flushes.", float64(m.FlushedValues))
+		p.CounterVec("sumd_ingest_flush_cause_total", "Flushes by trigger.", "cause", map[string]float64{
+			"size":     float64(m.SizeFlushes),
+			"deadline": float64(m.DeadlineFlushes),
+			"drain":    float64(m.DrainFlushes),
+		})
+		p.Histogram("sumd_ingest_flush_size", "Values per flush.",
+			batch.SizeBuckets[:], m.SizeHist[:], float64(m.FlushedValues))
+		p.Histogram("sumd_ingest_flush_latency_seconds", "Wall time inside accumulator flush calls.",
+			batch.LatencyBuckets[:], m.LatencyHist[:], float64(m.FlushNs)/1e9)
+	}
+	w.Header().Set("Content-Type", batch.PromContentType)
+	_, _ = w.Write(p.Bytes())
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -349,6 +349,11 @@ func (s *Sharded) Add(x float64) { s.s.Add(x) }
 // handoff over the batch — the high-throughput ingestion call.
 func (s *Sharded) AddBatch(xs []float64) { s.s.AddBatch(xs) }
 
+// AddBatches accumulates every slice in batches exactly under one
+// striped-lock acquisition — the batch.SliceSink flush entry point, so
+// a coalesced flush group applies without concatenating request bodies.
+func (s *Sharded) AddBatches(batches [][]float64) { s.s.AddBatches(batches) }
+
 // Invertible reports whether the backing engine supports exact deletion
 // (Sub/SubBatch).
 func (s *Sharded) Invertible() bool { return s.s.Invertible() }
@@ -362,6 +367,11 @@ func (s *Sharded) Sub(x float64) { s.s.Sub(x) }
 // SubBatch deletes every element of xs exactly, amortizing the shard
 // handoff over the batch. Panics when the engine is not Invertible.
 func (s *Sharded) SubBatch(xs []float64) { s.s.SubBatch(xs) }
+
+// SubBatches deletes every slice in batches exactly under one
+// striped-lock acquisition — the deletion half of the batch.SliceSink
+// flush entry point. Panics when the engine is not Invertible.
+func (s *Sharded) SubBatches(batches [][]float64) { s.s.SubBatches(batches) }
 
 // Sum returns the correctly rounded exact sum of everything ingested so
 // far; ingestion may continue concurrently.
