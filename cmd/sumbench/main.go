@@ -11,10 +11,10 @@
 //	sumbench -figure ingest -workerlist 1,2,4,8 -batches 1,64,4096
 //
 // Figures: f1 f2 f3 pram cond em carry radix sigma combiner seq parallel
-// ingest wire engines all. The seq, parallel, ingest, and wire figures
-// enumerate the summation-engine registry, so newly registered engines
-// appear without harness changes. Unknown -figure or -engines names exit
-// with status 2 and print the valid names.
+// ingest wire stream keyed engines all. The seq, parallel, ingest, wire,
+// and keyed figures enumerate the summation-engine registry, so newly
+// registered engines appear without harness changes. Unknown -figure or
+// -engines names exit with status 2 and print the valid names.
 package main
 
 import (
@@ -33,7 +33,8 @@ import (
 // (engines, the registry listing, is skipped by "all").
 var validFigures = []string{
 	"f1", "f2", "f3", "pram", "cond", "em", "carry", "radix", "sigma",
-	"combiner", "seq", "parallel", "ingest", "wire", "stream", "engines",
+	"combiner", "seq", "parallel", "ingest", "wire", "stream", "keyed",
+	"engines",
 }
 
 func main() {
@@ -54,6 +55,8 @@ func main() {
 		parts     = flag.Int("parts", 64, "combiner partials for the wire figure")
 		slots     = flag.String("slots", "1,4,16", "slot-count sweep for the stream figure")
 		buckets   = flag.String("buckets", "1024,65536", "bucket-size (values per eviction) sweep for the stream figure")
+		partsList = flag.String("partitions", "1,4,16", "partition-count sweep for the keyed figure")
+		keyCounts = flag.String("keys", "16,1024", "key-population sweep for the keyed figure")
 		jsonOut   = flag.String("jsonout", "", "write the parallel, ingest, or stream figure's snapshot as JSON to this file")
 	)
 	flag.Parse()
@@ -197,6 +200,25 @@ func main() {
 				}
 			}
 			snap := bench.StreamBench(sz, *delta, sl, bk, names, *reps)
+			show(snap.Table())
+			if *jsonOut != "" {
+				data, err := snap.JSON()
+				writeJSON(data, err)
+			}
+		case "keyed":
+			sz := nn
+			if *quick {
+				sz = 1_000_000
+			}
+			pl := parseInts(*partsList)
+			kc := parseInts(*keyCounts)
+			for _, v := range append(append([]int{}, pl...), kc...) {
+				if v < 1 {
+					fmt.Fprintf(os.Stderr, "keyed partition and key counts must be >= 1 (got %d)\n", v)
+					os.Exit(2)
+				}
+			}
+			snap := bench.KeyedBench(sz, *delta, pl, kc, checkEngines(true), *reps)
 			show(snap.Table())
 			if *jsonOut != "" {
 				data, err := snap.JSON()

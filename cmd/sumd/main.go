@@ -9,6 +9,7 @@
 //
 //	sumd -addr :8372 -engine dense -shards 8
 //	sumd -async -queue 512 -maxbatch 8192 -maxdelay 2ms
+//	sumd -partitions 16   # keyed-store stripes for /v1/add?key=…
 //
 // With -async, /v1/add and /v1/sub go through the batched ingestion
 // front-end: a bounded queue drained on a size-or-deadline trigger, 429
@@ -18,7 +19,8 @@
 //
 // Endpoints (see internal/sumdsrv): POST /v1/add, POST/GET /v1/partial,
 // GET /v1/sum, POST /v1/reset, GET /v1/stats, GET /v1/healthz,
-// GET /metrics.
+// GET /metrics — plus the keyed surface: /v1/add?key=, /v1/sum?key=,
+// GET /v1/keys, POST/GET /v1/keyed/partial.
 //
 // Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 1 on serve error,
 // 2 on usage error.
@@ -55,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
 		engName  = fs.String("engine", "dense", "summation engine backing the service")
 		shards   = fs.Int("shards", 0, "writer-stripe count (0 = GOMAXPROCS)")
+		parts    = fs.Int("partitions", 0, "keyed-store partition count (0 = GOMAXPROCS)")
 		maxBody  = fs.Int64("maxbody", 0, "request-body cap in bytes (0 = 64 MiB default)")
 		async    = fs.Bool("async", false, "batch /v1/add and /v1/sub through the bounded-queue ingestion front-end")
 		queue    = fs.Int("queue", 0, "async: bounded-queue capacity in requests (0 = 256)")
@@ -77,7 +80,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	srv, err := sumdsrv.New(sumdsrv.Options{
-		Engine: *engName, Shards: *shards, MaxBodyBytes: *maxBody,
+		Engine: *engName, Shards: *shards, KeyPartitions: *parts, MaxBodyBytes: *maxBody,
 		Async: *async, QueueLen: *queue, MaxBatch: *maxBatch, MaxDelay: *maxDelay, Flushers: *flushers,
 	})
 	if err != nil {

@@ -113,7 +113,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	done := make(chan int, 1)
 	go func() {
 		var errb strings.Builder
-		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shards", "2"}, &lineWriter{c: outc}, &errb)
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shards", "2", "-partitions", "4"}, &lineWriter{c: outc}, &errb)
 	}()
 
 	// The first output line reports the bound address.
@@ -136,6 +136,35 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// The -partitions flag stands up the keyed surface: a keyed add must
+	// round-trip through /v1/sum?key= and report the configured stripes.
+	resp, err = http.Post("http://"+addr+"/v1/add?key=acct", "application/json", strings.NewReader(`{"values":[1.25,2.25]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("keyed add: %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/v1/sum?key=acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"sum":"3.5"`) {
+		t.Fatalf("keyed sum: status %d body %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"partitions":4`) {
+		t.Fatalf("stats do not report the -partitions value: %s", body)
 	}
 
 	cancel()

@@ -31,6 +31,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"parsum/internal/keyed"
 )
 
 // ErrQueueFull is returned by Add/Sub when the bounded queue is at
@@ -104,8 +106,10 @@ func (o Options) withDefaults() Options {
 }
 
 // item is one admitted request. done is a one-slot reply channel (send,
-// never close, so items recycle through the pool).
+// never close, so items recycle through the pool). A non-empty key marks
+// a keyed request bound for the KeyedSink; "" is the single-sum path.
 type item struct {
+	key    string
 	values []float64
 	sub    bool
 	done   chan error
@@ -126,6 +130,7 @@ const (
 type Batcher struct {
 	sink   Sink
 	slices SliceSink // non-nil when sink also implements SliceSink
+	keyed  KeyedSink // non-nil when sink also implements KeyedSink
 	opt    Options
 	ch     chan *item
 	stop   chan struct{}
@@ -150,6 +155,7 @@ func New(sink Sink, opt Options) *Batcher {
 		stop: make(chan struct{}),
 	}
 	b.slices, _ = sink.(SliceSink)
+	b.keyed, _ = sink.(KeyedSink)
 	b.wg.Add(opt.Flushers)
 	for i := 0; i < opt.Flushers; i++ {
 		go b.runFlusher()
@@ -175,24 +181,24 @@ func (b *Batcher) Metrics() Metrics {
 // waiting — in that last case the batch was admitted and will still be
 // applied. An empty xs is a no-op.
 func (b *Batcher) Add(ctx context.Context, xs []float64) error {
-	return b.submit(ctx, xs, false)
+	return b.submit(ctx, "", xs, false)
 }
 
 // Sub submits xs for exact deletion — identical admission and completion
 // semantics to Add. The sink must support SubBatch for the values ever
 // flushed here (the server gates non-invertible engines upstream).
 func (b *Batcher) Sub(ctx context.Context, xs []float64) error {
-	return b.submit(ctx, xs, true)
+	return b.submit(ctx, "", xs, true)
 }
 
-func (b *Batcher) submit(ctx context.Context, xs []float64, sub bool) error {
-	it, err := b.enqueue(xs, sub)
+func (b *Batcher) submit(ctx context.Context, key string, xs []float64, sub bool) error {
+	it, err := b.enqueue(key, xs, sub)
 	if it == nil {
 		return err
 	}
 	select {
 	case err := <-it.done:
-		it.values = nil
+		it.key, it.values = "", nil
 		itemPool.Put(it)
 		return err
 	case <-ctx.Done():
@@ -204,17 +210,18 @@ func (b *Batcher) submit(ctx context.Context, xs []float64, sub bool) error {
 }
 
 // enqueue admits one request, or fails fast. It returns a nil item on
-// every failure and on empty batches (err == nil then).
-func (b *Batcher) enqueue(xs []float64, sub bool) (*item, error) {
-	if len(xs) == 0 {
+// every failure and on empty unkeyed batches (err == nil then); an empty
+// keyed batch is still admitted — registering the key is state.
+func (b *Batcher) enqueue(key string, xs []float64, sub bool) (*item, error) {
+	if len(xs) == 0 && key == "" {
 		return nil, nil
 	}
 	it := itemPool.Get().(*item)
-	it.values, it.sub = xs, sub
+	it.key, it.values, it.sub = key, xs, sub
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		it.values = nil
+		it.key, it.values = "", nil
 		itemPool.Put(it)
 		return nil, ErrClosed
 	}
@@ -223,12 +230,15 @@ func (b *Batcher) enqueue(xs []float64, sub bool) (*item, error) {
 		b.m.Enqueued++
 		b.m.EnqueuedValues += int64(len(xs))
 		b.m.QueueDepth++
+		if key != "" {
+			b.m.KeyedEnqueued++
+		}
 		b.mu.Unlock()
 		return it, nil
 	default:
 		b.m.Rejected++
 		b.mu.Unlock()
-		it.values = nil
+		it.key, it.values = "", nil
 		itemPool.Put(it)
 		return nil, ErrQueueFull
 	}
@@ -310,10 +320,13 @@ func drainQueued(ch <-chan *item, pending []*item) []*item {
 }
 
 // scratch is one flusher's reusable flush buffers: slice lists for the
-// SliceSink path, concatenation buffers for the plain Sink fallback.
+// SliceSink path, concatenation buffers for the plain Sink fallback,
+// batch lists and an item filter for the keyed path.
 type scratch struct {
 	addS, subS [][]float64
 	add, sub   []float64
+	addK, subK []keyed.Batch
+	plain      []*item
 }
 
 // flush applies one coalesced group to the sink — one AddBatches /
@@ -327,21 +340,62 @@ func (b *Batcher) flush(items []*item, sc *scratch, cause flushCause) {
 		return
 	}
 	nv := 0
+	keyedN := 0
 	for _, it := range items {
 		nv += len(it.values)
+		if it.key != "" {
+			keyedN++
+		}
 	}
 	start := b.opt.Clock.Now()
+	plain := items
+	if keyedN > 0 {
+		// Keyed requests exist only when the sink is a KeyedSink (AddKeyed
+		// gates on it before enqueueing). Split them out, apply the whole
+		// keyed share in one AddKeyedBatches/SubKeyedBatches pair — at most
+		// one lock hop per touched store partition — and leave the plain
+		// items for the usual paths below.
+		ps, addK, subK := sc.plain[:0], sc.addK[:0], sc.subK[:0]
+		for _, it := range items {
+			switch {
+			case it.key == "":
+				ps = append(ps, it)
+			case it.sub:
+				subK = append(subK, keyed.Batch{Key: it.key, Values: it.values})
+			default:
+				addK = append(addK, keyed.Batch{Key: it.key, Values: it.values})
+			}
+		}
+		if len(addK) > 0 {
+			b.keyed.AddKeyedBatches(addK)
+		}
+		if len(subK) > 0 {
+			b.keyed.SubKeyedBatches(subK)
+		}
+		// Drop the value references before reusing the buffers: the
+		// caller-owned slices must not stay pinned past the flush.
+		for i := range addK {
+			addK[i] = keyed.Batch{}
+		}
+		for i := range subK {
+			subK[i] = keyed.Batch{}
+		}
+		sc.addK, sc.subK = addK, subK
+		plain = ps
+	}
 	switch {
-	case len(items) == 1:
+	case len(plain) == 0:
+		// All-keyed flush: nothing for the single-sum sink.
+	case len(plain) == 1:
 		// Single-request flush: hand the batch straight to the sink.
-		if items[0].sub {
-			b.sink.SubBatch(items[0].values)
+		if plain[0].sub {
+			b.sink.SubBatch(plain[0].values)
 		} else {
-			b.sink.AddBatch(items[0].values)
+			b.sink.AddBatch(plain[0].values)
 		}
 	case b.slices != nil:
 		addS, subS := sc.addS[:0], sc.subS[:0]
-		for _, it := range items {
+		for _, it := range plain {
 			if it.sub {
 				subS = append(subS, it.values)
 			} else {
@@ -365,7 +419,7 @@ func (b *Batcher) flush(items []*item, sc *scratch, cause flushCause) {
 		sc.addS, sc.subS = addS, subS
 	default:
 		add, sub := sc.add[:0], sc.sub[:0]
-		for _, it := range items {
+		for _, it := range plain {
 			if it.sub {
 				sub = append(sub, it.values...)
 			} else {
@@ -380,10 +434,17 @@ func (b *Batcher) flush(items []*item, sc *scratch, cause flushCause) {
 		}
 		sc.add, sc.sub = add, sub
 	}
+	if keyedN > 0 {
+		for i := range plain {
+			plain[i] = nil
+		}
+		sc.plain = plain[:0]
+	}
 	dur := b.opt.Clock.Now().Sub(start)
 
 	b.mu.Lock()
 	b.m.Flushes++
+	b.m.KeyedFlushedRequests += int64(keyedN)
 	b.m.FlushedRequests += int64(len(items))
 	b.m.FlushedValues += int64(nv)
 	b.m.QueueDepth -= int64(len(items))

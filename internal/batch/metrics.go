@@ -24,6 +24,7 @@ type Metrics struct {
 	Enqueued       int64 // requests admitted to the queue
 	EnqueuedValues int64 // float64s admitted to the queue
 	Rejected       int64 // requests refused because the queue was full
+	KeyedEnqueued  int64 // subset of Enqueued that carried a key
 
 	Flushes         int64 // sink flushes performed
 	FlushedRequests int64 // requests completed by a flush
@@ -31,6 +32,8 @@ type Metrics struct {
 	SizeFlushes     int64 // flushes triggered by MaxBatch
 	DeadlineFlushes int64 // flushes triggered by MaxDelay
 	DrainFlushes    int64 // flushes triggered by Close
+
+	KeyedFlushedRequests int64 // subset of FlushedRequests that carried a key
 
 	QueueDepth int64 // requests admitted but not yet flushed
 	FlushNs    int64 // cumulative wall time inside sink calls

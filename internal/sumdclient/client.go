@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -48,9 +48,17 @@ type Client struct {
 	// full jitter (a uniform draw from [d/2, d)), capped by the
 	// server's Retry-After hint. 0 means 2ms.
 	RetryBase time.Duration
+	// MaxResponseBytes caps how many bytes of a response body the client
+	// will read; a larger response is an error, never a silently
+	// truncated blob. 0 means sumdsrv.MaxBodyBytes — the server's
+	// *default* body cap. Raise it to match a service configured with a
+	// larger Options.MaxBodyBytes, or a GET /v1/keyed/partial whose
+	// envelope outgrows the default.
+	MaxResponseBytes int64
 
 	retried atomic.Int64
 	sleep   func(ctx context.Context, d time.Duration) error // test hook
+	jitter  func(n int64) int64                              // test hook; uniform draw from [0, n)
 }
 
 // New returns a Client for the sumd service at baseURL (e.g.
@@ -59,14 +67,15 @@ func New(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, sleep: sleepCtx}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, sleep: sleepCtx, jitter: rand.Int64N}
 }
 
 // apiError is a non-2xx response from the service.
 type apiError struct {
-	Status     int
-	Message    string
-	RetryAfter time.Duration // parsed Retry-After hint, 0 when absent
+	Status        int
+	Message       string
+	RetryAfter    time.Duration // parsed Retry-After hint; see HasRetryAfter
+	HasRetryAfter bool          // the response carried a usable Retry-After
 }
 
 func (e *apiError) Error() string {
@@ -100,7 +109,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			return data, err
 		}
 		c.retried.Add(1)
-		if serr := c.sleep(ctx, backoff(c.RetryBase, attempt, ae.RetryAfter)); serr != nil {
+		if serr := c.sleep(ctx, c.backoff(attempt, ae)); serr != nil {
 			return nil, serr
 		}
 		data, err = c.doOnce(ctx, method, path, contentType, body)
@@ -109,11 +118,20 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 }
 
 // backoff returns the delay before retry number attempt (0-based):
-// base<<attempt with full jitter (uniform in [d/2, d)), capped at the
-// server's Retry-After hint when one was given — the hint is an upper
-// bound on useful waiting, since the ingest queue drains at least once
-// per MaxDelay which the hint over-approximates in whole seconds.
-func backoff(base time.Duration, attempt int, retryAfter time.Duration) time.Duration {
+// RetryBase<<attempt with full jitter (uniform in [d/2, d]), capped at
+// the server's Retry-After hint when one was given — the hint is an
+// upper bound on useful waiting, since the ingest queue drains at least
+// once per MaxDelay which the hint over-approximates in whole seconds.
+// A hint of exactly zero means "retry immediately" (RFC 9110 allows it,
+// and a drained queue serves the re-send at once), so the backoff curve
+// is skipped entirely. Jitter comes from the per-client seam, not the
+// global math/rand source, so seeding elsewhere in the process cannot
+// correlate the retry storms of independent clients.
+func (c *Client) backoff(attempt int, ae *apiError) time.Duration {
+	if ae.HasRetryAfter && ae.RetryAfter == 0 {
+		return 0
+	}
+	base := c.RetryBase
 	if base <= 0 {
 		base = 2 * time.Millisecond
 	}
@@ -121,10 +139,10 @@ func backoff(base time.Duration, attempt int, retryAfter time.Duration) time.Dur
 		attempt = 20
 	}
 	d := base << attempt
-	if retryAfter > 0 && d > retryAfter {
-		d = retryAfter
+	if ae.HasRetryAfter && d > ae.RetryAfter {
+		d = ae.RetryAfter
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(c.jitter(int64(d/2)+1))
 }
 
 func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
@@ -140,14 +158,18 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 		return nil, err
 	}
 	defer resp.Body.Close()
-	// Read one byte past the server's body cap so an over-cap response is
-	// an error here, not a silently truncated blob failing later.
-	data, err := io.ReadAll(io.LimitReader(resp.Body, sumdsrv.MaxBodyBytes+1))
+	// Read one byte past the response cap so an over-cap response is an
+	// error here, not a silently truncated blob failing later.
+	maxResp := c.MaxResponseBytes
+	if maxResp <= 0 {
+		maxResp = sumdsrv.MaxBodyBytes
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResp+1))
 	if err != nil {
 		return nil, err
 	}
-	if len(data) > sumdsrv.MaxBodyBytes {
-		return nil, fmt.Errorf("sumd: response to %s %s exceeds %d bytes", method, path, sumdsrv.MaxBodyBytes)
+	if int64(len(data)) > maxResp {
+		return nil, fmt.Errorf("sumd: response to %s %s exceeds %d bytes", method, path, maxResp)
 	}
 	if resp.StatusCode/100 != 2 {
 		msg := strings.TrimSpace(string(data))
@@ -158,12 +180,37 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 			msg = je.Error
 		}
 		ae := &apiError{Status: resp.StatusCode, Message: msg}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			ae.RetryAfter = time.Duration(secs) * time.Second
-		}
+		ae.RetryAfter, ae.HasRetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return nil, ae
 	}
 	return data, nil
+}
+
+// parseRetryAfter parses a Retry-After header value per RFC 9110 §10.2.3:
+// either non-negative delta-seconds or an HTTP-date, which may be in any
+// of the three formats http.ParseTime accepts. ok reports whether the
+// value was usable; a zero duration with ok true means "retry
+// immediately" — the old parser required secs > 0 and so dropped that
+// hint, and never understood the date form at all. A date already in the
+// past clamps to zero rather than going negative.
+func parseRetryAfter(v string, now time.Time) (d time.Duration, ok bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		d := when.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // AddBatch ships xs to the service as raw little-endian float64s — exact

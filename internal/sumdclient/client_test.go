@@ -1,0 +1,65 @@
+package sumdclient
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"parsum/internal/sumdsrv"
+)
+
+// TestMaxResponseBytesConfigurable is the response-cap regression test:
+// the client used to hard-code the server's *default* body cap
+// (sumdsrv.MaxBodyBytes), so a service configured with a larger
+// Options.MaxBodyBytes could legitimately serve a partial the client
+// would then refuse. The cap must be configurable per client, with the
+// default unchanged.
+func TestMaxResponseBytesConfigurable(t *testing.T) {
+	// A "service" whose response body exceeds the 64 MiB default cap —
+	// the shape of a GET /v1/partial from a server with a raised MaxBody.
+	const bodyLen = sumdsrv.MaxBodyBytes + 8
+	chunk := strings.Repeat("x", 1<<20)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		remaining := int64(bodyLen)
+		for remaining > 0 {
+			n := int64(len(chunk))
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := io.WriteString(w, chunk[:n]); err != nil {
+				return
+			}
+			remaining -= n
+		}
+	}))
+	defer hs.Close()
+	ctx := context.Background()
+
+	// Default cap: the oversized response is an error, never a
+	// truncated blob.
+	c := New(hs.URL, hs.Client())
+	if _, err := c.SnapshotPartial(ctx); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("default cap: err = %v, want over-cap error", err)
+	}
+
+	// Raised cap: the same response is read whole.
+	c.MaxResponseBytes = bodyLen + 1
+	blob, err := c.SnapshotPartial(ctx)
+	if err != nil {
+		t.Fatalf("raised cap: %v", err)
+	}
+	if int64(len(blob)) != bodyLen {
+		t.Fatalf("raised cap read %d bytes, want %d", len(blob), int64(bodyLen))
+	}
+
+	// A small explicit cap binds too — the cap is the client's, not the
+	// server default's.
+	c.MaxResponseBytes = 1024
+	if _, err := c.SnapshotPartial(ctx); err == nil || !strings.Contains(err.Error(), "exceeds 1024 bytes") {
+		t.Fatalf("small cap: err = %v, want over-cap error naming the cap", err)
+	}
+}

@@ -144,28 +144,136 @@ func TestRetrySleepHonorsContext(t *testing.T) {
 }
 
 func TestBackoffBounds(t *testing.T) {
-	const base = 2 * time.Millisecond
+	c := New("http://unused", nil)
+	c.RetryBase = 2 * time.Millisecond
+	noHint := &apiError{}
 	for attempt := 0; attempt <= 6; attempt++ {
 		for trial := 0; trial < 50; trial++ {
-			d := backoff(base, attempt, 0)
-			want := base << attempt
+			d := c.backoff(attempt, noHint)
+			want := c.RetryBase << attempt
 			if d < want/2 || d > want {
-				t.Fatalf("backoff(%v, %d, 0) = %v, outside [%v, %v]", base, attempt, d, want/2, want)
+				t.Fatalf("backoff(%d, no hint) = %v, outside [%v, %v]", attempt, d, want/2, want)
 			}
 		}
 	}
 	// The server's Retry-After hint caps the exponential curve.
+	c.RetryBase = time.Second
+	capped := &apiError{RetryAfter: 3 * time.Second, HasRetryAfter: true}
 	for trial := 0; trial < 50; trial++ {
-		if d := backoff(time.Second, 10, 3*time.Second); d > 3*time.Second {
+		if d := c.backoff(10, capped); d > 3*time.Second {
 			t.Fatalf("Retry-After cap ignored: %v", d)
 		}
 	}
+	// A Retry-After of exactly zero means "retry immediately", not "no
+	// hint": the backoff curve is skipped, even deep into the retries.
+	if d := c.backoff(7, &apiError{RetryAfter: 0, HasRetryAfter: true}); d != 0 {
+		t.Fatalf("backoff with zero Retry-After = %v, want 0", d)
+	}
 	// Zero base falls back to the documented 2ms default.
-	if d := backoff(0, 0, 0); d < time.Millisecond || d > 2*time.Millisecond {
-		t.Fatalf("backoff(0, 0, 0) = %v, want in [1ms, 2ms]", d)
+	c.RetryBase = 0
+	if d := c.backoff(0, noHint); d < time.Millisecond || d > 2*time.Millisecond {
+		t.Fatalf("backoff(0, no hint) at zero base = %v, want in [1ms, 2ms]", d)
 	}
 	// Huge attempts must not overflow into negative durations.
-	if d := backoff(time.Second, 63, time.Minute); d <= 0 || d > time.Minute {
+	c.RetryBase = time.Second
+	if d := c.backoff(63, &apiError{RetryAfter: time.Minute, HasRetryAfter: true}); d <= 0 || d > time.Minute {
 		t.Fatalf("backoff at clamped attempt = %v", d)
+	}
+	// The jitter seam is per client, so tests (and clients) can pin it
+	// without touching any global source.
+	c.RetryBase = 8 * time.Millisecond
+	c.jitter = func(n int64) int64 { return n - 1 }
+	if d := c.backoff(0, noHint); d != 8*time.Millisecond {
+		t.Fatalf("pinned max jitter: backoff = %v, want 8ms", d)
+	}
+	c.jitter = func(n int64) int64 { return 0 }
+	if d := c.backoff(0, noHint); d != 4*time.Millisecond {
+		t.Fatalf("pinned min jitter: backoff = %v, want 4ms", d)
+	}
+}
+
+// TestParseRetryAfter pins the RFC 9110 §10.2.3 grammar: non-negative
+// delta-seconds (zero included — the old parser dropped it) and all
+// three HTTP-date forms, with dates in the past clamping to zero.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"0", 0, true}, // retry immediately — distinct from "no hint"
+		{"7", 7 * time.Second, true},
+		{"120", 2 * time.Minute, true},
+		{"-3", 0, false},
+		{"1.5", 0, false},
+		{"soon", 0, false},
+		// IMF-fixdate, 90 s in the future.
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		// A date already in the past clamps to "retry immediately".
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		// RFC 850 and asctime forms are also legal HTTP-dates.
+		{now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second, true},
+		{now.Add(45 * time.Second).Format(time.ANSIC), 45 * time.Second, true},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestRetryAfterZeroSleepsZero drives the zero hint end to end over
+// HTTP: a server shedding with Retry-After: 0 must see the re-send
+// scheduled with a zero delay, where the old secs > 0 parser fell back
+// to the full exponential curve.
+func TestRetryAfterZeroSleepsZero(t *testing.T) {
+	hs, hits := shedServer(t, 2, "0")
+	c := New(hs.URL, hs.Client())
+	c.Retry429 = 5
+	c.RetryBase = time.Hour // would be ruinous if the hint were dropped
+
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if err := c.AddBatch(context.Background(), []float64{1}); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	for i, d := range slept {
+		if d != 0 {
+			t.Errorf("sleep %d = %v, want 0 (Retry-After: 0)", i, d)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDate drives the date form end to end: the parsed
+// hint must cap the backoff like delta-seconds always did.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	date := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	hs, _ := shedServer(t, 1, date)
+	c := New(hs.URL, hs.Client())
+	c.Retry429 = 2
+	c.RetryBase = time.Hour // only the date hint can keep this sane
+
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if err := c.AddBatch(context.Background(), []float64{1}); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(slept))
+	}
+	if slept[0] > 2*time.Second {
+		t.Errorf("HTTP-date Retry-After ignored: slept %v, want ≤ 2s", slept[0])
 	}
 }

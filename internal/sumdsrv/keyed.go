@@ -1,0 +1,171 @@
+package sumdsrv
+
+// Keyed endpoints: the network surface of the multi-key exact
+// aggregation store.
+//
+//	POST /v1/add?key=K    (or JSON {"key":K,...}) — ingest into key K
+//	POST /v1/sub?key=K    — delete from key K exactly
+//	GET  /v1/sum?key=K    — key K's sum, rounded once (404 when absent)
+//	GET  /v1/keys         — sorted live keys; ?lo=&hi= select a range
+//	GET  /v1/keyed/partial — the keyed state as one binary keyed
+//	                  envelope (?lo=&hi= select a key range;
+//	                  ?format=json returns per-key wire partials in JSON)
+//	POST /v1/keyed/partial — merge a keyed envelope (octet-stream) or a
+//	                  JSON {"partials":[{"key":...,"blob":...}]} document
+//
+// The push/pull pair is the anti-entropy loop: two sumd instances that
+// exchange GET→POST in either order converge to bit-identical per-key
+// sums (the keyed store's CRDT property), and a pull of [lo, hi)
+// followed by a remote push and a local reset of that range is an exact
+// key-range rebalance. Malformed or engine-mismatched payloads are
+// rejected (400/409) without disturbing any key.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+
+	"parsum"
+	"parsum/internal/keyed"
+)
+
+// KeysResponse is the GET /v1/keys payload.
+type KeysResponse struct {
+	Keys  []string `json:"keys"`
+	Count int      `json:"count"`
+}
+
+// KeyedPartialsRequest is the JSON form of POST /v1/keyed/partial; each
+// blob is a base64-encoded engine wire partial (the bytes of
+// Accumulator.MarshalBinary).
+type KeyedPartialsRequest struct {
+	Partials []parsum.KeyPartial `json:"partials"`
+}
+
+// KeyedPartialsResponse is the JSON form of GET /v1/keyed/partial.
+type KeyedPartialsResponse struct {
+	Engine   string              `json:"engine"`
+	Partials []parsum.KeyPartial `json:"partials"`
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lo, hi := q.Get("lo"), q.Get("hi")
+	keys := s.keyed.KeysRange(lo, hi)
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, http.StatusOK, KeysResponse{Keys: keys, Count: len(keys)})
+}
+
+// handleGetKeyed serves the keyed state — the pull half of the keyed
+// exchange. Default is the binary keyed envelope; ?format=json serves
+// per-key wire partials for consumers that cannot carry binary bodies.
+func (s *Server) handleGetKeyed(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lo, hi := q.Get("lo"), q.Get("hi")
+	switch format := q.Get("format"); format {
+	case "", "binary":
+		blob, err := s.keyed.ExportRange(lo, hi)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.st.bump(&s.st.keyedSums)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+		_, _ = w.Write(blob)
+	case "json":
+		ps, err := s.keyed.ExportPartials(lo, hi)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if ps == nil {
+			ps = []parsum.KeyPartial{}
+		}
+		s.st.bump(&s.st.keyedSums)
+		writeJSON(w, http.StatusOK, KeyedPartialsResponse{Engine: s.keyed.Engine(), Partials: ps})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want binary or json)", format))
+	}
+}
+
+// handlePushKeyed merges remote keyed state — the push half of the keyed
+// exchange. Both body forms validate the entire payload before touching
+// any key, so a rejected push leaves the store bit-for-bit unchanged.
+func (s *Server) handlePushKeyed(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	mediaType := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(mediaType); err == nil {
+		mediaType = mt
+	}
+	var merged int
+	if mediaType == "application/octet-stream" {
+		if err := s.keyed.ImportMerge(body); err != nil {
+			writeKeyedMergeError(w, err)
+			return
+		}
+		// The envelope was validated whole; count its entries the cheap
+		// way (a second decode would double the work): every entry is one
+		// key merged.
+		merged = countEnvelopeEntries(body)
+	} else {
+		var req KeyedPartialsRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding keyed partials: %w", err))
+			return
+		}
+		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+			writeError(w, http.StatusBadRequest, errors.New("trailing data after keyed partials"))
+			return
+		}
+		if err := s.keyed.MergeKeyPartials(req.Partials); err != nil {
+			writeKeyedMergeError(w, err)
+			return
+		}
+		merged = len(req.Partials)
+	}
+	s.st.addKeyedPartials(merged)
+	writeJSON(w, http.StatusOK, struct {
+		Merged int `json:"merged"`
+	}{Merged: merged})
+}
+
+func writeKeyedMergeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, keyed.ErrEngineMismatch) {
+		status = http.StatusConflict
+	}
+	writeError(w, status, err)
+}
+
+// countEnvelopeEntries returns the entry count claimed by an
+// already-validated keyed envelope (magic, version, engLen, engine name,
+// then the count uvarint).
+func countEnvelopeEntries(blob []byte) int {
+	if len(blob) < 3 {
+		return 0
+	}
+	rest := blob[3+int(blob[2]):]
+	n := 0
+	shift := 0
+	for _, b := range rest {
+		n |= int(b&0x7F) << shift
+		if b < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	return n
+}

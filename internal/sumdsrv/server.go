@@ -84,6 +84,11 @@ type Options struct {
 	// 413 and never disturbs accumulated state. 0 means the MaxBodyBytes
 	// constant; negative is rejected by New.
 	MaxBodyBytes int64
+	// KeyPartitions is the partition count of the keyed store behind the
+	// key-addressed endpoints (/v1/add with a key, /v1/sum?key=,
+	// /v1/keyed/partial); 0 means GOMAXPROCS. The keyed store shares the
+	// server's engine.
+	KeyPartitions int
 	// Async routes /v1/add and /v1/sub through the batched ingestion
 	// front-end (see the package comment). Off by default: the sync
 	// path remains the escape hatch.
@@ -98,7 +103,8 @@ type Options struct {
 	// WrapSink, when non-nil, wraps the accumulator before the batcher
 	// attaches to it. Test seam: e2e tests interpose a gated sink to
 	// hold a flush open and pin the full-queue 429 contract
-	// deterministically. Ignored in sync mode.
+	// deterministically. Ignored in sync mode. When the wrapped sink does
+	// not implement batch.KeyedSink, async keyed ingestion answers 501.
 	WrapSink func(batch.Sink) batch.Sink
 }
 
@@ -110,26 +116,49 @@ type Options struct {
 // still 0.)
 type counters struct {
 	mu         sync.Mutex
-	values     int64 // raw float64s ingested via /v1/add
-	batches    int64 // /v1/add requests
-	removed    int64 // raw float64s deleted via /v1/sub
-	subBatches int64 // /v1/sub requests
+	values     int64 // raw float64s ingested via keyless /v1/add
+	batches    int64 // keyless /v1/add requests
+	removed    int64 // raw float64s deleted via keyless /v1/sub
+	subBatches int64 // keyless /v1/sub requests
 	partials   int64 // wire partials merged via POST /v1/partial
 	sums       int64 // /v1/sum and GET /v1/partial responses
 	rejected   int64 // /v1/add + /v1/sub requests shed with 429
+
+	keyedValues     int64 // raw float64s ingested via keyed /v1/add
+	keyedBatches    int64 // keyed /v1/add requests
+	keyedRemoved    int64 // raw float64s deleted via keyed /v1/sub
+	keyedSubBatches int64 // keyed /v1/sub requests
+	keyedPartials   int64 // keys merged via POST /v1/keyed/partial
+	keyedSums       int64 // keyed sum / keyed partial-export responses
 }
 
-func (c *counters) addBatch(n int) {
+func (c *counters) addBatch(n int, keyed bool) {
 	c.mu.Lock()
-	c.batches++
-	c.values += int64(n)
+	if keyed {
+		c.keyedBatches++
+		c.keyedValues += int64(n)
+	} else {
+		c.batches++
+		c.values += int64(n)
+	}
 	c.mu.Unlock()
 }
 
-func (c *counters) subBatch(n int) {
+func (c *counters) subBatch(n int, keyed bool) {
 	c.mu.Lock()
-	c.subBatches++
-	c.removed += int64(n)
+	if keyed {
+		c.keyedSubBatches++
+		c.keyedRemoved += int64(n)
+	} else {
+		c.subBatches++
+		c.removed += int64(n)
+	}
+	c.mu.Unlock()
+}
+
+func (c *counters) addKeyedPartials(n int) {
+	c.mu.Lock()
+	c.keyedPartials += int64(n)
 	c.mu.Unlock()
 }
 
@@ -143,6 +172,9 @@ func (c *counters) bump(field *int64) {
 // can be passed around by value).
 type counterSnap struct {
 	values, batches, removed, subBatches, partials, sums, rejected int64
+
+	keyedValues, keyedBatches, keyedRemoved, keyedSubBatches,
+	keyedPartials, keyedSums int64
 }
 
 func (c *counters) snapshot() counterSnap {
@@ -152,6 +184,9 @@ func (c *counters) snapshot() counterSnap {
 		values: c.values, batches: c.batches,
 		removed: c.removed, subBatches: c.subBatches,
 		partials: c.partials, sums: c.sums, rejected: c.rejected,
+		keyedValues: c.keyedValues, keyedBatches: c.keyedBatches,
+		keyedRemoved: c.keyedRemoved, keyedSubBatches: c.keyedSubBatches,
+		keyedPartials: c.keyedPartials, keyedSums: c.keyedSums,
 	}
 }
 
@@ -159,6 +194,7 @@ func (c *counters) snapshot() counterSnap {
 // concurrent use.
 type Server struct {
 	sh      *parsum.Sharded
+	keyed   *parsum.Keyed
 	bat     *batch.Batcher // nil in sync mode
 	mux     *http.ServeMux
 	start   time.Time
@@ -191,11 +227,18 @@ func New(opt Options) (*Server, error) {
 	if _, err := sh.SnapshotBytes(); err != nil {
 		return nil, fmt.Errorf("sumd: engine %q cannot serve wire partials: %w", sh.Engine(), err)
 	}
-	s := &Server{sh: sh, mux: http.NewServeMux(), start: time.Now(), maxBody: maxBody}
+	ks, err := parsum.NewKeyed(parsum.KeyedOptions{Engine: opt.Engine, Partitions: opt.KeyPartitions})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sh: sh, keyed: ks, mux: http.NewServeMux(), start: time.Now(), maxBody: maxBody}
 	if opt.Async {
-		var sink batch.Sink = sh
+		// The batcher's sink pairs the global accumulator with the keyed
+		// store, so one queue and one group-commit flush serve both kinds
+		// of traffic.
+		var sink batch.Sink = dualSink{sh: sh, keyed: ks}
 		if opt.WrapSink != nil {
-			sink = opt.WrapSink(sh)
+			sink = opt.WrapSink(sink)
 		}
 		s.bat = batch.New(sink, batch.Options{
 			QueueLen: opt.QueueLen,
@@ -218,8 +261,25 @@ func New(opt Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("POST /v1/keyed/partial", s.handlePushKeyed)
+	s.mux.HandleFunc("GET /v1/keyed/partial", s.handleGetKeyed)
 	return s, nil
 }
+
+// dualSink is the async sink: the global Sharded accumulator (Sink +
+// SliceSink) joined with the keyed store (KeyedSink).
+type dualSink struct {
+	sh    *parsum.Sharded
+	keyed *parsum.Keyed
+}
+
+func (d dualSink) AddBatch(xs []float64)                  { d.sh.AddBatch(xs) }
+func (d dualSink) SubBatch(xs []float64)                  { d.sh.SubBatch(xs) }
+func (d dualSink) AddBatches(batches [][]float64)         { d.sh.AddBatches(batches) }
+func (d dualSink) SubBatches(batches [][]float64)         { d.sh.SubBatches(batches) }
+func (d dualSink) AddKeyedBatches(bs []parsum.KeyedBatch) { d.keyed.AddKeyedBatches(bs) }
+func (d dualSink) SubKeyedBatches(bs []parsum.KeyedBatch) { d.keyed.SubKeyedBatches(bs) }
 
 // Engine returns the registry name of the backing engine.
 func (s *Server) Engine() string { return s.sh.Engine() }
@@ -250,6 +310,9 @@ type SumResponse struct {
 	Bits   string `json:"bits"`
 	Engine string `json:"engine"`
 	Shards int    `json:"shards"`
+	// Key names the keyed-store entry this sum belongs to; empty for the
+	// global sum.
+	Key string `json:"key,omitempty"`
 }
 
 // StatsResponse is the GET /v1/stats payload. The server-level counters
@@ -266,7 +329,21 @@ type StatsResponse struct {
 	SumsServed    int64       `json:"sums_served"`
 	Rejected      int64       `json:"rejected"`
 	UptimeSeconds int64       `json:"uptime_seconds"`
+	Keyed         KeyedStats  `json:"keyed"`
 	Async         *AsyncStats `json:"async,omitempty"`
+}
+
+// KeyedStats is the keyed store's configuration and counter snapshot
+// inside StatsResponse.
+type KeyedStats struct {
+	Partitions int   `json:"partitions"`
+	Keys       int   `json:"keys"`
+	Values     int64 `json:"values"`
+	Batches    int64 `json:"batches"`
+	Removed    int64 `json:"removed"`
+	SubBatches int64 `json:"sub_batches"`
+	Partials   int64 `json:"partials"`
+	SumsServed int64 `json:"sums_served"`
 }
 
 // AsyncStats is the batcher's configuration and counter snapshot inside
@@ -288,23 +365,34 @@ type AsyncStats struct {
 	DrainFlushes    int64 `json:"drain_flushes"`
 	QueueDepth      int64 `json:"queue_depth"`
 	FlushNsTotal    int64 `json:"flush_ns_total"`
+
+	KeyedEnqueued        int64 `json:"keyed_enqueued"`
+	KeyedFlushedRequests int64 `json:"keyed_flushed_requests"`
 }
 
 // AddRequest is the JSON form of POST /v1/add and /v1/sub. The binary form
 // (application/octet-stream, raw little-endian float64s) is preferred for
-// bulk and is the only way to ship non-finite values.
+// bulk and is the only way to ship non-finite values. A non-empty Key
+// routes the values into that key's accumulator in the keyed store
+// instead of the global sum; the binary form carries the key in the
+// ?key= query parameter instead. Setting both to different values is a
+// 400.
 type AddRequest struct {
 	Values []float64 `json:"values"`
+	Key    string    `json:"key,omitempty"`
 }
 
-// AddResponse is the POST /v1/add payload.
+// AddResponse is the POST /v1/add payload. Key echoes the target key on
+// keyed requests.
 type AddResponse struct {
-	Added int `json:"added"`
+	Added int    `json:"added"`
+	Key   string `json:"key,omitempty"`
 }
 
 // SubResponse is the POST /v1/sub payload.
 type SubResponse struct {
-	Removed int `json:"removed"`
+	Removed int    `json:"removed"`
+	Key     string `json:"key,omitempty"`
 }
 
 type errorResponse struct {
@@ -339,9 +427,11 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 
 // decodeBatch parses the shared /v1/add and /v1/sub body formats: raw
 // little-endian float64s (application/octet-stream) or a single JSON
-// {"values":[...]} document. It writes the error response itself and
-// reports ok = false on malformed payloads.
-func decodeBatch(w http.ResponseWriter, r *http.Request, body []byte) (xs []float64, ok bool) {
+// {"values":[...],"key":...} document, and resolves the target key from
+// the ?key= query parameter and/or the JSON field. It writes the error
+// response itself and reports ok = false on malformed payloads.
+func decodeBatch(w http.ResponseWriter, r *http.Request, body []byte) (xs []float64, key string, ok bool) {
+	queryKey := r.URL.Query().Get("key")
 	// Content-Type may carry parameters (RFC 9110); route on the media
 	// type alone.
 	mediaType := r.Header.Get("Content-Type")
@@ -352,52 +442,93 @@ func decodeBatch(w http.ResponseWriter, r *http.Request, body []byte) (xs []floa
 		if len(body)%8 != 0 {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("binary batch length %d is not a multiple of 8", len(body)))
-			return nil, false
+			return nil, "", false
+		}
+		if !checkKeyParam(w, queryKey) {
+			return nil, "", false
 		}
 		xs = make([]float64, len(body)/8)
 		for i := range xs {
 			xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
 		}
-		return xs, true
+		return xs, queryKey, true
 	}
 	var req AddRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding JSON batch: %w", err))
-		return nil, false
+		return nil, "", false
 	}
 	// A batch is one JSON value; trailing content would otherwise be
 	// silently dropped data.
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
 		writeError(w, http.StatusBadRequest, errors.New("trailing data after JSON batch"))
-		return nil, false
+		return nil, "", false
 	}
-	return req.Values, true
+	key = req.Key
+	if queryKey != "" {
+		if key != "" && key != queryKey {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("key %q in query disagrees with key %q in body", queryKey, key))
+			return nil, "", false
+		}
+		key = queryKey
+	}
+	if !checkKeyParam(w, key) {
+		return nil, "", false
+	}
+	return req.Values, key, true
+}
+
+// checkKeyParam rejects over-length keys at the network edge with 400
+// (the store itself treats them as programming errors and panics).
+func checkKeyParam(w http.ResponseWriter, key string) bool {
+	if len(key) > parsum.MaxKeyLen {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("key length %d exceeds limit %d", len(key), parsum.MaxKeyLen))
+		return false
+	}
+	return true
 }
 
 // ingest applies one decoded batch through the configured path: the
 // batcher in async mode (waiting for its flush — group commit), the
-// accumulator directly otherwise. It reports whether the batch was
-// accepted, writing the shed-load or failure response itself when not.
-func (s *Server) ingest(w http.ResponseWriter, r *http.Request, xs []float64, sub bool) bool {
+// accumulator or keyed store directly otherwise. A non-empty key routes
+// to the keyed store. It reports whether the batch was accepted, writing
+// the shed-load or failure response itself when not.
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request, key string, xs []float64, sub bool) bool {
 	if s.bat == nil {
-		if sub {
+		switch {
+		case key != "" && sub:
+			s.keyed.Sub(key, xs)
+		case key != "":
+			s.keyed.Add(key, xs)
+		case sub:
 			s.sh.SubBatch(xs)
-		} else {
+		default:
 			s.sh.AddBatch(xs)
 		}
 		return true
 	}
 	var err error
-	if sub {
+	switch {
+	case key != "" && sub:
+		err = s.bat.SubKeyed(r.Context(), key, xs)
+	case key != "":
+		err = s.bat.AddKeyed(r.Context(), key, xs)
+	case sub:
 		err = s.bat.Sub(r.Context(), xs)
-	} else {
+	default:
 		err = s.bat.Add(r.Context(), xs)
 	}
 	switch {
 	case err == nil:
 		return true
+	case errors.Is(err, batch.ErrNoKeyedSink):
+		// A WrapSink seam hid the keyed store from the batcher.
+		writeError(w, http.StatusNotImplemented, err)
+		return false
 	case errors.Is(err, batch.ErrQueueFull):
 		// Fail fast, state untouched: the client should back off and
 		// retry after the queue has had a chance to drain.
@@ -422,15 +553,15 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	xs, ok := decodeBatch(w, r, body)
+	xs, key, ok := decodeBatch(w, r, body)
 	if !ok {
 		return
 	}
-	if !s.ingest(w, r, xs, false) {
+	if !s.ingest(w, r, key, xs, false) {
 		return
 	}
-	s.st.addBatch(len(xs))
-	writeJSON(w, http.StatusOK, AddResponse{Added: len(xs)})
+	s.st.addBatch(len(xs), key != "")
+	writeJSON(w, http.StatusOK, AddResponse{Added: len(xs), Key: key})
 }
 
 func (s *Server) handleSub(w http.ResponseWriter, r *http.Request) {
@@ -443,15 +574,15 @@ func (s *Server) handleSub(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	xs, ok := decodeBatch(w, r, body)
+	xs, key, ok := decodeBatch(w, r, body)
 	if !ok {
 		return
 	}
-	if !s.ingest(w, r, xs, true) {
+	if !s.ingest(w, r, key, xs, true) {
 		return
 	}
-	s.st.subBatch(len(xs))
-	writeJSON(w, http.StatusOK, SubResponse{Removed: len(xs)})
+	s.st.subBatch(len(xs), key != "")
+	writeJSON(w, http.StatusOK, SubResponse{Removed: len(xs), Key: key})
 }
 
 func (s *Server) handlePushPartial(w http.ResponseWriter, r *http.Request) {
@@ -486,6 +617,25 @@ func (s *Server) handleGetPartial(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
+	if key := r.URL.Query().Get("key"); key != "" {
+		if !checkKeyParam(w, key) {
+			return
+		}
+		v, ok := s.keyed.Sum(key)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown key %q", key))
+			return
+		}
+		s.st.bump(&s.st.keyedSums)
+		writeJSON(w, http.StatusOK, SumResponse{
+			Sum:    strconv.FormatFloat(v, 'g', -1, 64),
+			Bits:   strconv.FormatUint(math.Float64bits(v), 16),
+			Engine: s.keyed.Engine(),
+			Shards: s.sh.NumShards(),
+			Key:    key,
+		})
+		return
+	}
 	v := s.sh.Sum()
 	s.st.bump(&s.st.sums)
 	writeJSON(w, http.StatusOK, SumResponse{
@@ -498,6 +648,7 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	s.sh.Reset()
+	s.keyed.Reset()
 	writeJSON(w, http.StatusOK, struct {
 		Reset bool `json:"reset"`
 	}{Reset: true})
@@ -516,6 +667,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SumsServed:    c.sums,
 		Rejected:      c.rejected,
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Keyed: KeyedStats{
+			Partitions: s.keyed.Partitions(),
+			Keys:       s.keyed.Len(),
+			Values:     c.keyedValues,
+			Batches:    c.keyedBatches,
+			Removed:    c.keyedRemoved,
+			SubBatches: c.keyedSubBatches,
+			Partials:   c.keyedPartials,
+			SumsServed: c.keyedSums,
+		},
 	}
 	if s.bat != nil {
 		m := s.bat.Metrics()
@@ -537,6 +698,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DrainFlushes:    m.DrainFlushes,
 			QueueDepth:      m.QueueDepth,
 			FlushNsTotal:    m.FlushNs,
+
+			KeyedEnqueued:        m.KeyedEnqueued,
+			KeyedFlushedRequests: m.KeyedFlushedRequests,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -560,6 +724,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("sumd_partials_total", "Wire partials merged via POST /v1/partial.", float64(c.partials))
 	p.Counter("sumd_sums_served_total", "Sum and partial-snapshot responses served.", float64(c.sums))
 	p.Counter("sumd_rejected_total", "Ingest requests shed with 429 (queue full).", float64(c.rejected))
+	p.Gauge("sumd_keyed_partitions", "Partition count of the keyed store.", float64(s.keyed.Partitions()))
+	p.Gauge("sumd_keyed_keys", "Live keys in the keyed store.", float64(s.keyed.Len()))
+	p.Counter("sumd_keyed_values_total", "Raw float64s accepted via keyed /v1/add.", float64(c.keyedValues))
+	p.Counter("sumd_keyed_batches_total", "Accepted keyed /v1/add requests.", float64(c.keyedBatches))
+	p.Counter("sumd_keyed_removed_total", "Raw float64s deleted via keyed /v1/sub.", float64(c.keyedRemoved))
+	p.Counter("sumd_keyed_sub_batches_total", "Accepted keyed /v1/sub requests.", float64(c.keyedSubBatches))
+	p.Counter("sumd_keyed_partials_total", "Keys merged via POST /v1/keyed/partial.", float64(c.keyedPartials))
+	p.Counter("sumd_keyed_sums_served_total", "Keyed sum and keyed partial-export responses served.", float64(c.keyedSums))
 	if s.bat != nil {
 		m := s.bat.Metrics()
 		o := s.bat.Options()
@@ -572,6 +744,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("sumd_ingest_rejected_total", "Requests refused because the ingest queue was full.", float64(m.Rejected))
 		p.Counter("sumd_ingest_flushes_total", "Coalesced flushes applied to the accumulator.", float64(m.Flushes))
 		p.Counter("sumd_ingest_flushed_values_total", "Float64s applied to the accumulator by flushes.", float64(m.FlushedValues))
+		p.Counter("sumd_ingest_keyed_enqueued_total", "Keyed requests admitted to the ingest queue.", float64(m.KeyedEnqueued))
+		p.Counter("sumd_ingest_keyed_flushed_requests_total", "Keyed requests completed by flushes.", float64(m.KeyedFlushedRequests))
 		p.CounterVec("sumd_ingest_flush_cause_total", "Flushes by trigger.", "cause", map[string]float64{
 			"size":     float64(m.SizeFlushes),
 			"deadline": float64(m.DeadlineFlushes),

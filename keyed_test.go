@@ -1,0 +1,108 @@
+package parsum_test
+
+import (
+	"math"
+	"testing"
+
+	"parsum"
+)
+
+// TestKeyedPublicSurface exercises the exported wrapper end to end: per-
+// key sums bit-identical to parsum.Sum, range rebalance, and the binary
+// and per-key-partial exchange paths.
+func TestKeyedPublicSurface(t *testing.T) {
+	k, err := parsum.NewKeyed(parsum.KeyedOptions{Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Engine() != "dense" || k.Partitions() != 3 || !k.Invertible() {
+		t.Fatalf("defaults: engine=%q partitions=%d invertible=%v", k.Engine(), k.Partitions(), k.Invertible())
+	}
+	data := map[string][]float64{
+		"alpha": {1e300, 1, -1e300},
+		"beta":  {math.Inf(1), -2.5},
+		"gamma": {5e-324, 5e-324, -5e-324},
+	}
+	for key, xs := range data {
+		k.Add(key, xs)
+	}
+	k.Sub("alpha", []float64{1e-30})
+	k.Add("alpha", []float64{1e-30})
+	for key, xs := range data {
+		got, ok := k.Sum(key)
+		if !ok {
+			t.Fatalf("key %q missing", key)
+		}
+		if want := parsum.Sum(xs); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Sum(%q) = %x, want %x", key, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	if got := k.Keys(); len(got) != 3 || got[0] != "alpha" {
+		t.Fatalf("Keys = %v", got)
+	}
+
+	// Binary exchange into a second store with a different layout.
+	blob, err := k.ExportRange("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := parsum.NewKeyed(parsum.KeyedOptions{Partitions: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.ImportMerge(blob); err != nil {
+		t.Fatal(err)
+	}
+	a, b := k.Snapshot(), k2.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshots differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i].Sum) && math.IsNaN(b[i].Sum) && a[i].Key == b[i].Key) {
+			t.Errorf("snapshot[%d]: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	// Per-key partials merge through the batch-of-envelopes path.
+	ps, err := k.ExportPartials("b", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("ExportPartials = %d entries, want 2", len(ps))
+	}
+	k3, err := parsum.NewKeyed(parsum.KeyedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k3.MergeKeyPartials(ps); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := k3.Sum("beta"); !ok || !math.IsInf(v, 1) {
+		t.Errorf("merged beta = (%v, %v), want +Inf", v, ok)
+	}
+
+	// Rebalance: move [b, h) out of k.
+	if n := k.DeleteRange("b", "h"); n != 2 {
+		t.Errorf("DeleteRange = %d, want 2", n)
+	}
+	if k.Len() != 1 {
+		t.Errorf("Len after rebalance = %d, want 1", k.Len())
+	}
+	k.Reset()
+	if k.Len() != 0 {
+		t.Errorf("Len after Reset = %d", k.Len())
+	}
+
+	// Grouped batch ingestion and store merge.
+	k.AddKeyedBatches([]parsum.KeyedBatch{{Key: "m", Values: []float64{1, 2}}, {Key: "n", Values: []float64{3}}})
+	k.SubKeyedBatches([]parsum.KeyedBatch{{Key: "m", Values: []float64{2}}})
+	k3.Merge(k)
+	if v, ok := k3.Sum("m"); !ok || v != 1 {
+		t.Errorf("merged m = (%v, %v), want 1", v, ok)
+	}
+
+	if _, err := parsum.NewKeyed(parsum.KeyedOptions{Engine: "no-such-engine"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
