@@ -44,6 +44,122 @@ func TestRunUsageErrors(t *testing.T) {
 			t.Errorf("%v: stderr %q does not explain the -async requirement", args, errb.String())
 		}
 	}
+	// Same for the WAL tuning knobs without -wal.
+	for _, args := range [][]string{
+		{"-fsync", "off"},
+		{"-segbytes", "1024"},
+		{"-snapshot-every", "10"},
+	} {
+		errb.Reset()
+		if got := run(ctx, args, &out, &errb); got != 2 {
+			t.Errorf("%v without -wal: exit %d, want 2", args, got)
+		}
+		if !strings.Contains(errb.String(), "require -wal") {
+			t.Errorf("%v: stderr %q does not explain the -wal requirement", args, errb.String())
+		}
+	}
+	// An unknown fsync policy is a startup error, not a silent default.
+	errb.Reset()
+	if got := run(ctx, []string{"-wal", t.TempDir(), "-fsync", "sometimes"}, &out, &errb); got != 2 {
+		t.Errorf("unknown fsync policy: exit %d, want 2", got)
+	}
+}
+
+// TestRunWALRecoversAcrossRestarts is the end-to-end durability loop at
+// the flag level: ingest into a -wal daemon, stop it, start a second
+// daemon on the same directory, and read back the identical sum.
+func TestRunWALRecoversAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-shards", "2", "-wal", dir, "-fsync", "off"}
+
+	addr, cancel, done := startDaemon(t, args)
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/add", "application/json", strings.NewReader(`{"values":[1.5,2.25]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("add: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("first daemon exit %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first daemon did not shut down")
+	}
+
+	addr, cancel, done = startDaemon(t, args)
+	defer cancel()
+	resp, err = http.Get("http://" + addr + "/v1/sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"sum":"3.75"`) {
+		t.Fatalf("sum after restart: %s", body)
+	}
+	resp, err = http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"wal"`) {
+		t.Fatalf("stats of a -wal daemon lack the wal section: %s", body)
+	}
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("second daemon exit %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second daemon did not shut down")
+	}
+}
+
+// startDaemon runs the daemon in the background and returns its bound
+// address once the "listening on" line appears.
+func startDaemon(t *testing.T, args []string) (addr string, cancel context.CancelFunc, done chan int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	outc := make(chan string, 16)
+	done = make(chan int, 1)
+	go func() {
+		var errb strings.Builder
+		done <- run(ctx, args, &allLineWriter{c: outc}, &errb)
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line := <-outc:
+			if m := regexp.MustCompile(`listening on (\S+)`).FindStringSubmatch(line); m != nil {
+				return m[1], cancel, done
+			}
+		case <-deadline:
+			cancel()
+			t.Fatal("sumd did not report a listen address")
+		}
+	}
+}
+
+// allLineWriter forwards every Write as a string on the channel (the
+// recovery report precedes the "listening on" line under -wal).
+type allLineWriter struct {
+	c chan<- string
+}
+
+func (w *allLineWriter) Write(p []byte) (int, error) {
+	select {
+	case w.c <- string(p):
+	default:
+	}
+	return len(p), nil
 }
 
 func TestRunAsyncModeServesBatchedIngest(t *testing.T) {

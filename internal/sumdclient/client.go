@@ -11,7 +11,9 @@ package sumdclient
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,9 +47,14 @@ type Client struct {
 	// retrying.
 	Retry429 int
 	// RetryBase is the first backoff delay; it doubles per attempt with
-	// full jitter (a uniform draw from [d/2, d)), capped by the
-	// server's Retry-After hint. 0 means 2ms.
+	// full jitter (a uniform draw from [d/2, d)), capped by RetryMax and
+	// by the server's Retry-After hint. 0 means 2ms.
 	RetryBase time.Duration
+	// RetryMax caps the exponential backoff delay, so a deep retry loop
+	// (or a large Retry429) cannot doze off for minutes — or, worse,
+	// overflow the shifted duration. 0 means 4s; a cap below RetryBase
+	// is raised to RetryBase.
+	RetryMax time.Duration
 	// MaxResponseBytes caps how many bytes of a response body the client
 	// will read; a larger response is an error, never a silently
 	// truncated blob. 0 means sumdsrv.MaxBodyBytes — the server's
@@ -102,7 +109,14 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // for up to Retry429 attempts when the service sheds it with 429 (safe:
 // a 429 guarantees the batch was not applied).
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
-	data, err := c.doOnce(ctx, method, path, contentType, body)
+	return c.doIdem(ctx, method, path, contentType, "", body)
+}
+
+// doIdem is do with an Idempotency-Key token attached to every send.
+// The combiners use it so a push whose response was lost can be re-sent
+// without the service applying it twice.
+func (c *Client) doIdem(ctx context.Context, method, path, contentType, token string, body []byte) ([]byte, error) {
+	data, err := c.doOnce(ctx, method, path, contentType, token, body)
 	for attempt := 0; attempt < c.Retry429; attempt++ {
 		var ae *apiError
 		if err == nil || !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
@@ -112,21 +126,27 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if serr := c.sleep(ctx, c.backoff(attempt, ae)); serr != nil {
 			return nil, serr
 		}
-		data, err = c.doOnce(ctx, method, path, contentType, body)
+		data, err = c.doOnce(ctx, method, path, contentType, token, body)
 	}
 	return data, err
 }
 
 // backoff returns the delay before retry number attempt (0-based):
 // RetryBase<<attempt with full jitter (uniform in [d/2, d]), capped at
-// the server's Retry-After hint when one was given — the hint is an
-// upper bound on useful waiting, since the ingest queue drains at least
-// once per MaxDelay which the hint over-approximates in whole seconds.
-// A hint of exactly zero means "retry immediately" (RFC 9110 allows it,
-// and a drained queue serves the re-send at once), so the backoff curve
-// is skipped entirely. Jitter comes from the per-client seam, not the
-// global math/rand source, so seeding elsewhere in the process cannot
-// correlate the retry storms of independent clients.
+// RetryMax and at the server's Retry-After hint when one was given —
+// the hint is an upper bound on useful waiting, since the ingest queue
+// drains at least once per MaxDelay which the hint over-approximates in
+// whole seconds. A hint of exactly zero means "retry immediately"
+// (RFC 9110 allows it, and a drained queue serves the re-send at once),
+// so the backoff curve is skipped entirely. Jitter comes from the
+// per-client seam, not the global math/rand source, so seeding
+// elsewhere in the process cannot correlate the retry storms of
+// independent clients.
+//
+// The doubling stops at the cap instead of shifting blindly: the old
+// `base << min(attempt, 20)` could put a 2ms base to sleep for over
+// half an hour, and a caller-supplied base near an hour shifted past
+// the int64 range entirely.
 func (c *Client) backoff(attempt int, ae *apiError) time.Duration {
 	if ae.HasRetryAfter && ae.RetryAfter == 0 {
 		return 0
@@ -135,23 +155,40 @@ func (c *Client) backoff(attempt int, ae *apiError) time.Duration {
 	if base <= 0 {
 		base = 2 * time.Millisecond
 	}
-	if attempt > 20 {
-		attempt = 20
+	maxd := c.RetryMax
+	if maxd <= 0 {
+		maxd = 4 * time.Second
 	}
-	d := base << attempt
+	if maxd < base {
+		maxd = base
+	}
+	d := base
+	for i := 0; i < attempt && d < maxd; i++ {
+		d <<= 1
+		if d <= 0 { // overflowed past the int64 range
+			d = maxd
+			break
+		}
+	}
+	if d > maxd {
+		d = maxd
+	}
 	if ae.HasRetryAfter && d > ae.RetryAfter {
 		d = ae.RetryAfter
 	}
 	return d/2 + time.Duration(c.jitter(int64(d/2)+1))
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+func (c *Client) doOnce(ctx context.Context, method, path, contentType, token string, body []byte) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if token != "" {
+		req.Header.Set("Idempotency-Key", token)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -284,6 +321,18 @@ func (c *Client) Reset(ctx context.Context) error {
 type Combiner struct {
 	c   *Client
 	acc *parsum.Accumulator
+	n   int64 // values accumulated since the last staging
+
+	// pending is a staged partial whose push has not been acknowledged:
+	// Flush serializes-and-resets the accumulator into pending *before*
+	// pushing, and clears it only on a 2xx. A failed or lost-response
+	// Flush therefore leaves the partial staged, and the retry re-sends
+	// the identical blob under the identical idempotency token — the
+	// service either merges it (the first attempt never arrived) or
+	// recognizes the token and no-ops (the response was lost after the
+	// merge). Either way the values land exactly once.
+	pending []byte
+	token   string
 }
 
 // NewCombiner returns a Combiner accumulating through the named engine
@@ -301,33 +350,69 @@ func (c *Client) NewCombiner(engineName string) (*Combiner, error) {
 }
 
 // Add accumulates x exactly into the local partial.
-func (co *Combiner) Add(x float64) { co.acc.Add(x) }
+func (co *Combiner) Add(x float64) { co.acc.Add(x); co.n++ }
 
 // AddSlice accumulates every element of xs exactly into the local partial.
-func (co *Combiner) AddSlice(xs []float64) { co.acc.AddSlice(xs) }
+func (co *Combiner) AddSlice(xs []float64) { co.acc.AddSlice(xs); co.n += int64(len(xs)) }
 
 // Sub deletes x exactly from the local partial — retractions batch into
 // the same combiner as insertions and flush in one hop. Exact for every
 // value including non-finite ones: the partial codec carries signed
 // special multiplicities, so a net retraction of a NaN or infinity
 // survives the flush and cancels on the service.
-func (co *Combiner) Sub(x float64) { co.acc.Sub(x) }
+func (co *Combiner) Sub(x float64) { co.acc.Sub(x); co.n++ }
 
 // SubSlice deletes every element of xs exactly from the local partial.
-func (co *Combiner) SubSlice(xs []float64) { co.acc.SubSlice(xs) }
+func (co *Combiner) SubSlice(xs []float64) { co.acc.SubSlice(xs); co.n += int64(len(xs)) }
 
-// Flush serializes the local partial, pushes it to the service, and on
-// success resets the local accumulator so the Combiner can keep
-// accumulating the next stretch of input. Flushing after every slice or
-// once at the end yields the same final bits — merges are exact.
+// Flush pushes the local partial to the service and resets the local
+// accumulator so the Combiner can keep accumulating the next stretch of
+// input. Flushing after every slice or once at the end yields the same
+// final bits — merges are exact.
+//
+// Flush is safe to retry after any error: the partial is staged with an
+// idempotency token before the first send (see Combiner.pending), so a
+// retry can never double-apply it, even when the failure was a lost
+// response to a push the service had in fact merged. A Flush with
+// nothing staged and nothing accumulated is a no-op.
 func (co *Combiner) Flush(ctx context.Context) error {
+	if err := co.pushPending(ctx); err != nil {
+		return err
+	}
+	if co.n == 0 {
+		return nil
+	}
 	blob, err := co.acc.MarshalBinary()
 	if err != nil {
 		return err
 	}
-	if err := co.c.PushPartial(ctx, blob); err != nil {
+	co.acc.Reset()
+	co.n = 0
+	co.pending, co.token = blob, newIdemToken()
+	return co.pushPending(ctx)
+}
+
+func (co *Combiner) pushPending(ctx context.Context) error {
+	if co.pending == nil {
+		return nil
+	}
+	if _, err := co.c.doIdem(ctx, http.MethodPost, "/v1/partial", "application/octet-stream", co.token, co.pending); err != nil {
 		return err
 	}
-	co.acc.Reset()
+	co.pending, co.token = nil, ""
 	return nil
+}
+
+// newIdemToken returns a fresh idempotency token: 128 random bits in
+// hex, drawn from crypto/rand so independent workers cannot collide.
+func newIdemToken() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// No entropy is a broken platform; fall back to the jitter
+		// source rather than fail the flush.
+		for i := range b {
+			b[i] = byte(rand.Int64N(256))
+		}
+	}
+	return hex.EncodeToString(b[:])
 }

@@ -178,6 +178,13 @@ func decodeMerged(data []byte) (int, error) {
 type KeyedCombiner struct {
 	c *Client
 	k *parsum.Keyed
+
+	// pending/token stage an exported envelope whose push has not been
+	// acknowledged, exactly like Combiner.pending: a retried Flush
+	// re-sends the identical envelope under the identical idempotency
+	// token, so a lost response can never double-apply the keys.
+	pending []byte
+	token   string
 }
 
 // NewKeyedCombiner returns a KeyedCombiner accumulating through the
@@ -203,10 +210,20 @@ func (co *KeyedCombiner) Sub(key string, xs []float64) { co.k.Sub(key, xs) }
 func (co *KeyedCombiner) Len() int { return co.k.Len() }
 
 // Flush serializes the local keyed state, pushes it to the service as
-// one keyed envelope, and on success resets the local store so the
-// combiner can keep accumulating. It returns how many keys the service
-// merged.
+// one keyed envelope, and resets the local store so the combiner can
+// keep accumulating. It returns how many keys the service merged in
+// this call (0 when a retried envelope was deduplicated — the service
+// already held those keys from the attempt whose response was lost).
+//
+// Like Combiner.Flush, it is safe to retry after any error: the
+// envelope is staged with an idempotency token before the first send,
+// so the keys land exactly once no matter how many sends it takes.
 func (co *KeyedCombiner) Flush(ctx context.Context) (int, error) {
+	if co.pending != nil {
+		if _, err := co.pushPending(ctx); err != nil {
+			return 0, err
+		}
+	}
 	if co.k.Len() == 0 {
 		return 0, nil
 	}
@@ -214,10 +231,16 @@ func (co *KeyedCombiner) Flush(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := co.c.PushKeyed(ctx, blob)
+	co.k.Reset()
+	co.pending, co.token = blob, newIdemToken()
+	return co.pushPending(ctx)
+}
+
+func (co *KeyedCombiner) pushPending(ctx context.Context) (int, error) {
+	data, err := co.c.doIdem(ctx, http.MethodPost, "/v1/keyed/partial", "application/octet-stream", co.token, co.pending)
 	if err != nil {
 		return 0, err
 	}
-	co.k.Reset()
-	return n, nil
+	co.pending, co.token = nil, ""
+	return decodeMerged(data)
 }

@@ -192,6 +192,60 @@ func TestBackoffBounds(t *testing.T) {
 	}
 }
 
+// TestBackoffRetryMaxCap pins the RetryMax contract: the exponential
+// curve stops at the cap (default 4s) instead of shifting without
+// bound — the old `base << min(attempt, 20)` slept a 2ms base for up to
+// ~35 minutes and shifted an hour-scale base past the int64 range.
+func TestBackoffRetryMaxCap(t *testing.T) {
+	c := New("http://unused", nil)
+	noHint := &apiError{}
+
+	// Default cap: a 2ms base deep into the retries sleeps ≤ 4s, never
+	// the 2ms<<20 ≈ 35min of the uncapped curve, and never negative.
+	c.RetryBase = 2 * time.Millisecond
+	for _, attempt := range []int{11, 20, 40, 1 << 30} {
+		for trial := 0; trial < 50; trial++ {
+			d := c.backoff(attempt, noHint)
+			if d <= 0 || d > 4*time.Second {
+				t.Fatalf("backoff(%d) = %v, outside (0, 4s]", attempt, d)
+			}
+		}
+	}
+	// The attempt that first reaches the cap sits exactly at it (pinned
+	// jitter): 2ms << 11 = 4.096s > 4s.
+	c.jitter = func(n int64) int64 { return n - 1 }
+	if d := c.backoff(11, noHint); d != 4*time.Second {
+		t.Fatalf("backoff at cap = %v, want 4s", d)
+	}
+	// The last attempt below the cap still follows the curve exactly.
+	if d := c.backoff(10, noHint); d != 2*time.Millisecond<<10 {
+		t.Fatalf("backoff below cap = %v, want %v", d, 2*time.Millisecond<<10)
+	}
+
+	// An explicit cap is honored...
+	c.RetryMax = 16 * time.Millisecond
+	if d := c.backoff(20, noHint); d != 16*time.Millisecond {
+		t.Fatalf("explicit RetryMax: backoff = %v, want 16ms", d)
+	}
+	// ...and a cap below the base is raised to the base, never truncating
+	// the first delay to zero.
+	c.RetryMax = time.Microsecond
+	if d := c.backoff(0, noHint); d != 2*time.Millisecond {
+		t.Fatalf("RetryMax below base: backoff = %v, want 2ms", d)
+	}
+
+	// A base so large that doubling overflows int64 clamps to the cap.
+	c.RetryBase = time.Duration(1) << 62
+	c.RetryMax = 0
+	for _, attempt := range []int{1, 2, 63} {
+		if d := c.backoff(attempt, noHint); d != c.RetryBase {
+			// cap (4s) < base, so the cap is raised to base: the delay is
+			// exactly base, not a wrapped negative.
+			t.Fatalf("overflow-scale base: backoff(%d) = %v, want %v", attempt, d, c.RetryBase)
+		}
+	}
+}
+
 // TestParseRetryAfter pins the RFC 9110 §10.2.3 grammar: non-negative
 // delta-seconds (zero included — the old parser dropped it) and all
 // three HTTP-date forms, with dates in the past clamping to zero.

@@ -32,6 +32,7 @@ import (
 
 	"parsum"
 	"parsum/internal/keyed"
+	"parsum/internal/wal"
 )
 
 // KeysResponse is the GET /v1/keys payload.
@@ -98,7 +99,10 @@ func (s *Server) handleGetKeyed(w http.ResponseWriter, r *http.Request) {
 
 // handlePushKeyed merges remote keyed state — the push half of the keyed
 // exchange. Both body forms validate the entire payload before touching
-// any key, so a rejected push leaves the store bit-for-bit unchanged.
+// any key, so a rejected push leaves the store bit-for-bit unchanged —
+// which is also why the journal records the body only after the merge
+// accepted it (apply-then-journal, like /v1/partial). An Idempotency-Key
+// header deduplicates retried pushes through the token window.
 func (s *Server) handlePushKeyed(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
@@ -108,9 +112,21 @@ func (s *Server) handlePushKeyed(w http.ResponseWriter, r *http.Request) {
 	if mt, _, err := mime.ParseMediaType(mediaType); err == nil {
 		mediaType = mt
 	}
+	tok, ok := s.reserveIdem(w, r.Header.Get("Idempotency-Key"))
+	if !ok {
+		return
+	}
 	var merged int
+	var jerr error
 	if mediaType == "application/octet-stream" {
-		if err := s.keyed.ImportMerge(body); err != nil {
+		s.applyMu.RLock()
+		err := s.keyed.ImportMerge(body)
+		if err == nil {
+			jerr = s.journalBlob(wal.RecKeyedEnvelope, tok, body)
+		}
+		s.applyMu.RUnlock()
+		if err != nil {
+			s.releaseIdem(tok)
 			writeKeyedMergeError(w, err)
 			return
 		}
@@ -123,23 +139,38 @@ func (s *Server) handlePushKeyed(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			s.releaseIdem(tok)
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding keyed partials: %w", err))
 			return
 		}
 		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+			s.releaseIdem(tok)
 			writeError(w, http.StatusBadRequest, errors.New("trailing data after keyed partials"))
 			return
 		}
-		if err := s.keyed.MergeKeyPartials(req.Partials); err != nil {
+		s.applyMu.RLock()
+		err := s.keyed.MergeKeyPartials(req.Partials)
+		if err == nil {
+			jerr = s.journalBlob(wal.RecKeyedJSON, tok, body)
+		}
+		s.applyMu.RUnlock()
+		if err != nil {
+			s.releaseIdem(tok)
 			writeKeyedMergeError(w, err)
 			return
 		}
 		merged = len(req.Partials)
 	}
+	if jerr != nil {
+		// Applied but not durable; the token stays reserved so a retry is
+		// a no-op (see handlePushPartial).
+		writeError(w, http.StatusInternalServerError, jerr)
+		return
+	}
 	s.st.addKeyedPartials(merged)
-	writeJSON(w, http.StatusOK, struct {
-		Merged int `json:"merged"`
-	}{Merged: merged})
+	s.noteMutations(1)
+	s.maybeSnapshot()
+	writeJSON(w, http.StatusOK, mergedResponse{Merged: merged})
 }
 
 func writeKeyedMergeError(w http.ResponseWriter, err error) {

@@ -59,11 +59,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsum"
 	"parsum/internal/batch"
 	"parsum/internal/shard"
+	"parsum/internal/wal"
 )
 
 // MaxBodyBytes is the default request-body cap (64 MiB ≈ 8M float64s per
@@ -106,6 +108,29 @@ type Options struct {
 	// deterministically. Ignored in sync mode. When the wrapped sink does
 	// not implement batch.KeyedSink, async keyed ingestion answers 501.
 	WrapSink func(batch.Sink) batch.Sink
+	// WALDir enables the write-ahead log: every state-mutating request
+	// is journaled to this directory and committed before it is
+	// acknowledged, and New replays the directory so the server restarts
+	// with its pre-crash state. Empty disables durability (the previous
+	// behaviour).
+	WALDir string
+	// WALFsync is the journal's fsync policy: "always" (the default —
+	// fsync before every ack), "interval" (background fsync; a machine
+	// crash can lose the last ~100ms), or "off" (page-cache durability
+	// only: safe across process crashes, not machine crashes).
+	WALFsync string
+	// WALSegBytes is the journal's segment rotation threshold in bytes
+	// (0 = 64 MiB).
+	WALSegBytes int64
+	// WALSnapshotEvery writes a state snapshot — truncating the replayed
+	// log — every N journaled mutations; 0 disables automatic snapshots
+	// (the log then grows until the process writes one some other way).
+	WALSnapshotEvery int
+	// DedupWindow caps the idempotency window remembering the
+	// Idempotency-Key tokens of recently acknowledged partial pushes, so
+	// a client retrying a push whose response was lost cannot
+	// double-apply it. 0 means 1024 tokens; negative disables dedup.
+	DedupWindow int
 }
 
 // counters is the server-level ingestion ledger. One mutex guards every
@@ -114,6 +139,12 @@ type Options struct {
 // counted yet. (These were independent atomics once; a scrape landing
 // between two atomic increments could observe batches > 0 with values
 // still 0.)
+//
+// Every field is a monotone process-lifetime counter: POST /v1/reset
+// wipes accumulated *state*, never the ledger. Prometheus rate() and
+// increase() stay correct across resets, and the only event that may
+// legitimately move a sumd_*_total series backwards is a process
+// restart (which scrapers already treat as a counter reset).
 type counters struct {
 	mu         sync.Mutex
 	values     int64 // raw float64s ingested via keyless /v1/add
@@ -123,6 +154,7 @@ type counters struct {
 	partials   int64 // wire partials merged via POST /v1/partial
 	sums       int64 // /v1/sum and GET /v1/partial responses
 	rejected   int64 // /v1/add + /v1/sub requests shed with 429
+	deduped    int64 // partial pushes answered from the idempotency window
 
 	keyedValues     int64 // raw float64s ingested via keyed /v1/add
 	keyedBatches    int64 // keyed /v1/add requests
@@ -171,7 +203,8 @@ func (c *counters) bump(field *int64) {
 // counterSnap is a consistent copy of the ledger (no lock inside, so it
 // can be passed around by value).
 type counterSnap struct {
-	values, batches, removed, subBatches, partials, sums, rejected int64
+	values, batches, removed, subBatches, partials, sums, rejected,
+	deduped int64
 
 	keyedValues, keyedBatches, keyedRemoved, keyedSubBatches,
 	keyedPartials, keyedSums int64
@@ -184,6 +217,7 @@ func (c *counters) snapshot() counterSnap {
 		values: c.values, batches: c.batches,
 		removed: c.removed, subBatches: c.subBatches,
 		partials: c.partials, sums: c.sums, rejected: c.rejected,
+		deduped:     c.deduped,
 		keyedValues: c.keyedValues, keyedBatches: c.keyedBatches,
 		keyedRemoved: c.keyedRemoved, keyedSubBatches: c.keyedSubBatches,
 		keyedPartials: c.keyedPartials, keyedSums: c.keyedSums,
@@ -204,6 +238,21 @@ type Server struct {
 	// that long (rounded up to the header's 1s granularity) is always
 	// enough.
 	retryAfter string
+
+	// Durability (nil / zero when Options.WALDir is empty). applyMu is
+	// held shared around every journal+apply pair and exclusively by
+	// reset and snapshot capture; see internal/sumdsrv/wal.go.
+	wal       *wal.Log
+	applyMu   sync.RWMutex
+	walSince  atomic.Int64 // mutations journaled since the last snapshot
+	snapEvery int64
+	walFsync  wal.Policy
+	recovery  WALRecovery
+
+	// tokens is the idempotency-dedup window (non-nil even without a
+	// WAL: response-loss retries are a transport hazard, not a crash
+	// hazard).
+	tokens *tokenWindow
 
 	st counters
 }
@@ -232,6 +281,31 @@ func New(opt Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{sh: sh, keyed: ks, mux: http.NewServeMux(), start: time.Now(), maxBody: maxBody}
+	switch {
+	case opt.DedupWindow == 0:
+		s.tokens = newTokenWindow(1024)
+	case opt.DedupWindow > 0:
+		s.tokens = newTokenWindow(opt.DedupWindow)
+	}
+	if opt.WALDir != "" {
+		pol, err := wal.ParsePolicy(opt.WALFsync)
+		if err != nil {
+			return nil, err
+		}
+		wlog, recovered, err := wal.Open(wal.Options{Dir: opt.WALDir, SegBytes: opt.WALSegBytes, Fsync: pol})
+		if err != nil {
+			return nil, err
+		}
+		s.walFsync = pol
+		s.snapEvery = int64(opt.WALSnapshotEvery)
+		if err := s.recover(recovered); err != nil {
+			_ = wlog.Close()
+			return nil, err
+		}
+		// Arm the journal only after replay: recovery applies records
+		// that are already in the log.
+		s.wal = wlog
+	}
 	if opt.Async {
 		// The batcher's sink pairs the global accumulator with the keyed
 		// store, so one queue and one group-commit flush serve both kinds
@@ -239,6 +313,19 @@ func New(opt Options) (*Server, error) {
 		var sink batch.Sink = dualSink{sh: sh, keyed: ks}
 		if opt.WrapSink != nil {
 			sink = opt.WrapSink(sink)
+		}
+		if s.wal != nil {
+			// Interpose the journal outermost so a flush group is durable
+			// before it is applied and acknowledged. The keyed-capable
+			// wrapper is chosen only when the wrapped sink itself is keyed
+			// capable, preserving the 501 contract for seams that hide it.
+			ws := walSink{s: s, inner: sink}
+			ws.slice, _ = sink.(batch.SliceSink)
+			if kd, ok := sink.(batch.KeyedSink); ok {
+				sink = walKeyedSink{walSink: ws, keyed: kd}
+			} else {
+				sink = ws
+			}
 		}
 		s.bat = batch.New(sink, batch.Options{
 			QueueLen: opt.QueueLen,
@@ -287,12 +374,22 @@ func (s *Server) Engine() string { return s.sh.Engine() }
 // Async reports whether the batched ingestion front-end is on.
 func (s *Server) Async() bool { return s.bat != nil }
 
+// Durable reports whether the write-ahead log is journaling ingests.
+func (s *Server) Durable() bool { return s.wal != nil }
+
+// Recovery reports what WAL recovery found at construction (the zero
+// value when the WAL is off).
+func (s *Server) Recovery() WALRecovery { return s.recovery }
+
 // Close drains and stops the async batcher (flushing every admitted
-// batch) so accepted requests are never dropped on shutdown. It is a
-// no-op in sync mode and safe to call more than once.
+// batch) so accepted requests are never dropped on shutdown, then seals
+// the journal. Safe to call more than once.
 func (s *Server) Close() {
 	if s.bat != nil {
 		s.bat.Close()
+	}
+	if s.wal != nil {
+		_ = s.wal.Close()
 	}
 }
 
@@ -318,6 +415,10 @@ type SumResponse struct {
 // StatsResponse is the GET /v1/stats payload. The server-level counters
 // are one consistent snapshot (taken under one lock); Async, when
 // present, is a second consistent snapshot of the batcher's ledger.
+//
+// Every counter is monotone over the process lifetime: POST /v1/reset
+// clears accumulated state, not the ledger. Only a process restart
+// starts the counters over.
 type StatsResponse struct {
 	Engine        string      `json:"engine"`
 	Shards        int         `json:"shards"`
@@ -328,9 +429,11 @@ type StatsResponse struct {
 	Partials      int64       `json:"partials"`
 	SumsServed    int64       `json:"sums_served"`
 	Rejected      int64       `json:"rejected"`
+	Deduped       int64       `json:"deduped"`
 	UptimeSeconds int64       `json:"uptime_seconds"`
 	Keyed         KeyedStats  `json:"keyed"`
 	Async         *AsyncStats `json:"async,omitempty"`
+	WAL           *WALStats   `json:"wal,omitempty"`
 }
 
 // KeyedStats is the keyed store's configuration and counter snapshot
@@ -499,6 +602,22 @@ func checkKeyParam(w http.ResponseWriter, key string) bool {
 // the shed-load or failure response itself when not.
 func (s *Server) ingest(w http.ResponseWriter, r *http.Request, key string, xs []float64, sub bool) bool {
 	if s.bat == nil {
+		s.applyMu.RLock()
+		if s.wal != nil {
+			// Journal-then-apply: a decoded raw batch cannot fail, so the
+			// record can be made durable before the state moves. A commit
+			// failure rejects the request with state untouched.
+			if key != "" {
+				s.wal.AppendKeyed(key, xs, sub)
+			} else {
+				s.wal.AppendBatch(xs, sub)
+			}
+			if err := s.wal.Commit(); err != nil {
+				s.applyMu.RUnlock()
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("journaling batch: %w", err))
+				return false
+			}
+		}
 		switch {
 		case key != "" && sub:
 			s.keyed.Sub(key, xs)
@@ -509,6 +628,8 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request, key string, xs [
 		default:
 			s.sh.AddBatch(xs)
 		}
+		s.applyMu.RUnlock()
+		s.noteMutations(1)
 		return true
 	}
 	var err error
@@ -561,6 +682,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.addBatch(len(xs), key != "")
+	s.maybeSnapshot()
 	writeJSON(w, http.StatusOK, AddResponse{Added: len(xs), Key: key})
 }
 
@@ -582,6 +704,7 @@ func (s *Server) handleSub(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.subBatch(len(xs), key != "")
+	s.maybeSnapshot()
 	writeJSON(w, http.StatusOK, SubResponse{Removed: len(xs), Key: key})
 }
 
@@ -590,7 +713,21 @@ func (s *Server) handlePushPartial(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.sh.MergeBytes(blob); err != nil {
+	tok, ok := s.reserveIdem(w, r.Header.Get("Idempotency-Key"))
+	if !ok {
+		return
+	}
+	// Apply-then-journal: MergeBytes validates the whole blob before
+	// touching state, so only accepted partials reach the log.
+	s.applyMu.RLock()
+	err := s.sh.MergeBytes(blob)
+	var jerr error
+	if err == nil {
+		jerr = s.journalBlob(wal.RecPartial, tok, blob)
+	}
+	s.applyMu.RUnlock()
+	if err != nil {
+		s.releaseIdem(tok)
 		status := http.StatusBadRequest
 		if errors.Is(err, shard.ErrEngineMismatch) {
 			status = http.StatusConflict
@@ -598,10 +735,17 @@ func (s *Server) handlePushPartial(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	if jerr != nil {
+		// Applied but not durable: the token stays reserved so a retry
+		// does not double-apply, and the failure is on the WAL error
+		// ledger.
+		writeError(w, http.StatusInternalServerError, jerr)
+		return
+	}
 	s.st.bump(&s.st.partials)
-	writeJSON(w, http.StatusOK, struct {
-		Merged int `json:"merged"`
-	}{Merged: 1})
+	s.noteMutations(1)
+	s.maybeSnapshot()
+	writeJSON(w, http.StatusOK, mergedResponse{Merged: 1})
 }
 
 func (s *Server) handleGetPartial(w http.ResponseWriter, r *http.Request) {
@@ -647,8 +791,26 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	// Exclusive: a reset must not interleave with a journal+apply pair,
+	// or replay could order the wipe differently than the live process
+	// did. The reset record itself is journaled so recovery wipes state
+	// at the same point in the history. The idempotency window survives
+	// (see tokenWindow); so do the stats counters (monotone ledger).
+	s.applyMu.Lock()
 	s.sh.Reset()
 	s.keyed.Reset()
+	var jerr error
+	if s.wal != nil {
+		s.wal.AppendReset()
+		jerr = s.wal.Commit()
+	}
+	s.applyMu.Unlock()
+	if jerr != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("reset applied but journal commit failed: %w", jerr))
+		return
+	}
+	s.noteMutations(1)
+	s.maybeSnapshot()
 	writeJSON(w, http.StatusOK, struct {
 		Reset bool `json:"reset"`
 	}{Reset: true})
@@ -666,6 +828,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Partials:      c.partials,
 		SumsServed:    c.sums,
 		Rejected:      c.rejected,
+		Deduped:       c.deduped,
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Keyed: KeyedStats{
 			Partitions: s.keyed.Partitions(),
@@ -703,6 +866,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			KeyedFlushedRequests: m.KeyedFlushedRequests,
 		}
 	}
+	if s.wal != nil {
+		m := s.wal.Metrics()
+		resp.WAL = &WALStats{
+			Fsync:     s.walFsync.String(),
+			Records:   m.Records,
+			Bytes:     m.Bytes,
+			Commits:   m.Commits,
+			Fsyncs:    m.Fsyncs,
+			Rotations: m.Rotations,
+			Snapshots: m.Snapshots,
+			Errors:    m.Errors,
+			Segments:  m.Segments,
+			LastError: m.LastError,
+			Recovery:  s.recovery,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -724,6 +903,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("sumd_partials_total", "Wire partials merged via POST /v1/partial.", float64(c.partials))
 	p.Counter("sumd_sums_served_total", "Sum and partial-snapshot responses served.", float64(c.sums))
 	p.Counter("sumd_rejected_total", "Ingest requests shed with 429 (queue full).", float64(c.rejected))
+	p.Counter("sumd_dedup_hits_total", "Partial pushes answered from the idempotency window without re-merging.", float64(c.deduped))
 	p.Gauge("sumd_keyed_partitions", "Partition count of the keyed store.", float64(s.keyed.Partitions()))
 	p.Gauge("sumd_keyed_keys", "Live keys in the keyed store.", float64(s.keyed.Len()))
 	p.Counter("sumd_keyed_values_total", "Raw float64s accepted via keyed /v1/add.", float64(c.keyedValues))
@@ -755,6 +935,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			batch.SizeBuckets[:], m.SizeHist[:], float64(m.FlushedValues))
 		p.Histogram("sumd_ingest_flush_latency_seconds", "Wall time inside accumulator flush calls.",
 			batch.LatencyBuckets[:], m.LatencyHist[:], float64(m.FlushNs)/1e9)
+	}
+	p.Gauge("sumd_wal_enabled", "Whether the write-ahead log is journaling ingests.", b2f(s.wal != nil))
+	if s.wal != nil {
+		m := s.wal.Metrics()
+		p.Counter("sumd_wal_records_total", "Mutation records journaled.", float64(m.Records))
+		p.Counter("sumd_wal_bytes_total", "Frame bytes written to the journal (headers included).", float64(m.Bytes))
+		p.Counter("sumd_wal_commits_total", "Journal commits (group commits in async mode).", float64(m.Commits))
+		p.Counter("sumd_wal_fsyncs_total", "Fsyncs issued by the journal.", float64(m.Fsyncs))
+		p.Counter("sumd_wal_rotations_total", "Segment rotations.", float64(m.Rotations))
+		p.Counter("sumd_wal_snapshots_total", "State snapshots written (each truncates replayed segments).", float64(m.Snapshots))
+		p.Counter("sumd_wal_errors_total", "Journal write, fsync, rotate, or snapshot failures.", float64(m.Errors))
+		p.Gauge("sumd_wal_segments", "Live journal segment files.", float64(m.Segments))
+		p.Gauge("sumd_wal_recovered_records", "Records replayed at startup.", float64(s.recovery.Records))
+		p.Gauge("sumd_wal_recovered_truncated_bytes", "Torn-tail bytes dropped at startup.", float64(s.recovery.TruncatedBytes))
+		p.Gauge("sumd_wal_recovered_snapshot", "Whether a snapshot seeded recovery at startup.", b2f(s.recovery.SnapshotLoaded))
 	}
 	w.Header().Set("Content-Type", batch.PromContentType)
 	_, _ = w.Write(p.Bytes())
