@@ -32,6 +32,11 @@
 // GET /metrics — plus the keyed surface: /v1/add?key=, /v1/sum?key=,
 // GET /v1/keys, POST/GET /v1/keyed/partial.
 //
+// The HTTP server is hardened against stuck and malicious peers with
+// -read-header-timeout, -read-timeout, -write-timeout, and
+// -idle-timeout (see internal/httpd for the defaults; negative
+// disables one).
+//
 // Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 1 on serve error,
 // 2 on usage error.
 package main
@@ -43,12 +48,12 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"parsum/internal/httpd"
 	"parsum/internal/sumdsrv"
 )
 
@@ -78,6 +83,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fsyncPol = fs.String("fsync", "", "wal: fsync policy: always, interval, or off (default always)")
 		segBytes = fs.Int64("segbytes", 0, "wal: segment rotation threshold in bytes (0 = 64 MiB)")
 		snapN    = fs.Int("snapshot-every", 0, "wal: write a snapshot every N journaled mutations (0 = never)")
+		timeouts = httpd.Flags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -125,7 +131,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "sumd: engine=%s ingest=%s listening on %s\n", srv.Engine(), mode, ln.Addr())
 
-	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	hs := timeouts.Server(srv)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {

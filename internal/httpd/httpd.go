@@ -1,0 +1,73 @@
+// Package httpd centralizes the hardened http.Server configuration the
+// daemons share. A bare http.Server has no timeouts at all: a peer that
+// sends headers and then stalls (slowloris), trickles a body forever,
+// or never reads its response pins a connection and its goroutine
+// indefinitely. cmd/sumd and cmd/sumproxy both serve untrusted
+// networks, so they take the same four knobs, with the same flag names
+// and the same defaults, from here.
+package httpd
+
+import (
+	"flag"
+	"net/http"
+	"time"
+)
+
+// Defaults. ReadTimeout and WriteTimeout are generous because legal
+// requests carry multi-MiB keyed envelopes; they exist to bound
+// malice, not to police slow-but-live clients.
+const (
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultReadTimeout       = 60 * time.Second
+	DefaultWriteTimeout      = 60 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+)
+
+// Timeouts is the connection-lifecycle configuration for one server.
+// The zero value means "library defaults" for every field; a negative
+// field disables that timeout explicitly.
+type Timeouts struct {
+	// ReadHeader bounds reading one request's header block.
+	ReadHeader time.Duration
+	// Read bounds reading one whole request, body included.
+	Read time.Duration
+	// Write bounds writing one whole response, measured from the end of
+	// header reading.
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests.
+	Idle time.Duration
+}
+
+func pick(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0 // explicit "no timeout"
+	case v == 0:
+		return def
+	default:
+		return v
+	}
+}
+
+// Flags registers the four timeout flags on fs and returns the Timeouts
+// they fill. Call before fs.Parse; read after.
+func Flags(fs *flag.FlagSet) *Timeouts {
+	t := &Timeouts{}
+	fs.DurationVar(&t.ReadHeader, "read-header-timeout", 0, "server: limit on reading a request's headers (0 = 10s, negative = none)")
+	fs.DurationVar(&t.Read, "read-timeout", 0, "server: limit on reading a whole request including its body (0 = 60s, negative = none)")
+	fs.DurationVar(&t.Write, "write-timeout", 0, "server: limit on writing a whole response (0 = 60s, negative = none)")
+	fs.DurationVar(&t.Idle, "idle-timeout", 0, "server: limit on an idle keep-alive connection (0 = 120s, negative = none)")
+	return t
+}
+
+// Server returns an http.Server for h with the timeouts applied.
+func (t Timeouts) Server(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: pick(t.ReadHeader, DefaultReadHeaderTimeout),
+		ReadTimeout:       pick(t.Read, DefaultReadTimeout),
+		WriteTimeout:      pick(t.Write, DefaultWriteTimeout),
+		IdleTimeout:       pick(t.Idle, DefaultIdleTimeout),
+	}
+}

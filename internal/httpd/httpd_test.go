@@ -1,0 +1,60 @@
+package httpd
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestServerDefaults(t *testing.T) {
+	hs := Timeouts{}.Server(http.NotFoundHandler())
+	if hs.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", hs.ReadHeaderTimeout, DefaultReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != DefaultReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", hs.ReadTimeout, DefaultReadTimeout)
+	}
+	if hs.WriteTimeout != DefaultWriteTimeout {
+		t.Errorf("WriteTimeout = %v, want %v", hs.WriteTimeout, DefaultWriteTimeout)
+	}
+	if hs.IdleTimeout != DefaultIdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", hs.IdleTimeout, DefaultIdleTimeout)
+	}
+	if hs.Handler == nil {
+		t.Error("Handler not installed")
+	}
+}
+
+func TestServerOverridesAndDisables(t *testing.T) {
+	hs := Timeouts{ReadHeader: time.Second, Read: -1, Write: 2 * time.Second, Idle: -1}.Server(nil)
+	if hs.ReadHeaderTimeout != time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 1s", hs.ReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != 0 {
+		t.Errorf("ReadTimeout = %v, want 0 (negative disables)", hs.ReadTimeout)
+	}
+	if hs.WriteTimeout != 2*time.Second {
+		t.Errorf("WriteTimeout = %v, want 2s", hs.WriteTimeout)
+	}
+	if hs.IdleTimeout != 0 {
+		t.Errorf("IdleTimeout = %v, want 0 (negative disables)", hs.IdleTimeout)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	tmo := Flags(fs)
+	if err := fs.Parse([]string{"-read-timeout", "5s", "-idle-timeout", "-1s"}); err != nil {
+		t.Fatal(err)
+	}
+	if tmo.Read != 5*time.Second || tmo.Idle != -time.Second || tmo.ReadHeader != 0 || tmo.Write != 0 {
+		t.Fatalf("parsed %+v", *tmo)
+	}
+	hs := tmo.Server(nil)
+	if hs.ReadTimeout != 5*time.Second || hs.IdleTimeout != 0 || hs.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Fatalf("server %+v", hs)
+	}
+}

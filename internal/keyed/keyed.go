@@ -230,6 +230,23 @@ func (s *Store) Sum(key string) (float64, bool) {
 	return a.Round(), true
 }
 
+// CloneAcc returns a private clone of key's accumulator (and whether
+// the key exists). The clone is the caller's group element to mutate
+// freely — the anti-entropy repairer diffs donor and replica clones
+// (donor − replica) to compute the exact correction partial without
+// holding any store lock during the arithmetic.
+func (s *Store) CloneAcc(key string) (engine.Accumulator, bool) {
+	checkKey(key)
+	p := s.part(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.m[key]
+	if !ok {
+		return nil, false
+	}
+	return a.Clone(), true
+}
+
 // Len returns the number of live keys.
 func (s *Store) Len() int {
 	n := 0

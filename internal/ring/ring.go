@@ -1,0 +1,181 @@
+// Package ring implements the consistent-hash ring that spreads keys
+// over N sumd backends: a deterministic map from every key to an ordered
+// replica set of R distinct nodes. The proxy (internal/proxy) routes
+// each keyed write to Replicas(key, R) and each read down the same list,
+// so placement is a pure function of (membership, key) — two proxies
+// configured with the same backends agree on every key's replica set
+// with no coordination, and the anti-entropy repair loop can recompute
+// ownership offline.
+//
+// Each node projects VNodes virtual points onto a 64-bit hash circle
+// (FNV-1a of "node#i"); a key lands on the circle at FNV-1a(key) and its
+// replica set is the next R *distinct* nodes clockwise. Virtual nodes
+// smooth the load (the expected share of each node concentrates around
+// 1/N as VNodes grows), and consistent hashing bounds churn: adding or
+// removing one node moves only the keys adjacent to that node's points,
+// which the membership-change test pins quantitatively.
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per backend when Options
+// leaves it zero: enough to keep per-node load within a few tens of
+// percent of uniform for small clusters, cheap enough to rebuild on
+// every membership change.
+const DefaultVNodes = 64
+
+// Options configures New.
+type Options struct {
+	// Nodes are the member identifiers (the proxy uses backend base
+	// URLs). Order does not matter — the ring sorts internally so equal
+	// membership always builds an identical ring.
+	Nodes []string
+	// VNodes is the number of points each node projects onto the hash
+	// circle; 0 means DefaultVNodes.
+	VNodes int
+}
+
+// Ring is an immutable consistent-hash ring. Build one with New; all
+// methods are safe for concurrent use (nothing mutates after New).
+type Ring struct {
+	nodes  []string // sorted, unique
+	points []point  // sorted by (hash, node)
+	vnodes int
+}
+
+// point is one virtual node on the circle.
+type point struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// fnv1a is the same stable 64-bit FNV-1a the keyed store uses for
+// partitioning, finished with a splitmix64-style avalanche: raw FNV of
+// short strings with shared prefixes ("node#0", "node#1", …) clusters
+// on the circle badly enough to skew ownership 2x, and the finalizer
+// disperses it. Nothing on the wire depends on this hash, but
+// determinism across processes does.
+func fnv1a(parts ...string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range parts {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// New builds a ring over opt.Nodes. It errors on an empty membership,
+// an empty node name, or duplicate nodes — silent deduplication would
+// let two differently-configured proxies believe they agree.
+func New(opt Options) (*Ring, error) {
+	if len(opt.Nodes) == 0 {
+		return nil, fmt.Errorf("ring: no nodes")
+	}
+	vnodes := opt.VNodes
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	nodes := append([]string(nil), opt.Nodes...)
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("ring: empty node name")
+		}
+		if i > 0 && nodes[i-1] == n {
+			return nil, fmt.Errorf("ring: duplicate node %q", n)
+		}
+	}
+	r := &Ring{nodes: nodes, vnodes: vnodes, points: make([]point, 0, len(nodes)*vnodes)}
+	for ni, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: fnv1a(n, "#", vnodeSuffix(v)), node: int32(ni)})
+		}
+	}
+	// Ties (two points with equal hash) are broken by node index so the
+	// walk order is still a pure function of membership.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// vnodeSuffix spells the virtual-node index; fmt.Sprintf in the build
+// loop would dominate ring construction for large VNodes.
+func vnodeSuffix(v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Nodes returns the sorted membership (a copy).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VNodes returns the per-node virtual point count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Replicas returns the ordered replica set for key: the first n
+// distinct nodes clockwise from the key's point on the circle. n is
+// clamped to the membership size; n <= 0 returns nil. The first entry
+// is the key's primary. The result is freshly allocated — callers may
+// keep it.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := fnv1a(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	var seen uint64 // bitmask over node indices; membership is small
+	bigSeen := map[int32]bool(nil)
+	if len(r.nodes) > 64 {
+		bigSeen = make(map[int32]bool, n)
+	}
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if bigSeen != nil {
+			if bigSeen[p.node] {
+				continue
+			}
+			bigSeen[p.node] = true
+		} else {
+			bit := uint64(1) << uint(p.node)
+			if seen&bit != 0 {
+				continue
+			}
+			seen |= bit
+		}
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}
+
+// Owner returns the key's primary node — Replicas(key, 1)[0].
+func (r *Ring) Owner(key string) string { return r.Replicas(key, 1)[0] }

@@ -1,0 +1,174 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := New(Options{Nodes: nodes, VNodes: vnodes})
+	if err != nil {
+		t.Fatalf("New(%v): %v", nodes, err)
+	}
+	return r
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("empty membership: want error")
+	}
+	if _, err := New(Options{Nodes: []string{"a", ""}}); err == nil {
+		t.Error("empty node name: want error")
+	}
+	if _, err := New(Options{Nodes: []string{"a", "b", "a"}}); err == nil {
+		t.Error("duplicate node: want error")
+	}
+}
+
+// Placement must be a pure function of (membership, key): two rings
+// built from the same nodes — in any order — agree on every replica
+// set.
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := mustRing(t, []string{"n1", "n2", "n3", "n4", "n5"}, 32)
+	b := mustRing(t, []string{"n5", "n3", "n1", "n4", "n2"}, 32)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		for n := 1; n <= 5; n++ {
+			ra, rb := a.Replicas(key, n), b.Replicas(key, n)
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("key %q n=%d: %v vs %v", key, n, ra, rb)
+			}
+		}
+	}
+}
+
+func TestReplicasDistinctAndClamped(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r := mustRing(t, nodes, 16)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		reps := r.Replicas(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %q: %d replicas, want 3", key, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate replica %q in %v", key, n, reps)
+			}
+			seen[n] = true
+		}
+		// Asking for more replicas than nodes clamps to the membership.
+		if got := r.Replicas(key, 10); len(got) != 3 {
+			t.Fatalf("key %q: over-asked replicas %v, want all 3 nodes", key, got)
+		}
+		if got := r.Replicas(key, 0); got != nil {
+			t.Fatalf("key %q: n=0 returned %v, want nil", key, got)
+		}
+		if r.Owner(key) != reps[0] {
+			t.Fatalf("key %q: Owner %q != primary %q", key, r.Owner(key), reps[0])
+		}
+	}
+}
+
+// Replica sets for n and n+1 must agree on their shared prefix — the
+// walk is one clockwise pass, so growing R only appends.
+func TestReplicaPrefixStability(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c", "d", "e"}, 32)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("p%d", i)
+		prev := r.Replicas(key, 1)
+		for n := 2; n <= 5; n++ {
+			cur := r.Replicas(key, n)
+			if !reflect.DeepEqual(cur[:n-1], prev) {
+				t.Fatalf("key %q: Replicas(%d)=%v does not extend Replicas(%d)=%v", key, n, cur, n-1, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+// With enough virtual nodes the primary-ownership share of each node
+// should concentrate around 1/N; this pins a loose bound so a broken
+// hash or walk cannot silently skew the cluster.
+func TestBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := mustRing(t, nodes, 128)
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("balance-key-%d", i))]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		got := counts[n]
+		if got < want/2 || got > want*2 {
+			t.Errorf("node %q owns %d of %d keys (uniform share %d): skew beyond 2x", n, got, keys, want)
+		}
+	}
+}
+
+// Consistent hashing's point: adding one node must reassign only about
+// 1/(N+1) of the primaries, not reshuffle the world.
+func TestMembershipChangeMovesFewKeys(t *testing.T) {
+	before := mustRing(t, []string{"n1", "n2", "n3", "n4"}, 128)
+	after := mustRing(t, []string{"n1", "n2", "n3", "n4", "n5"}, 128)
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("churn-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			moved++
+			// A key that moved must have moved TO the new node; moving
+			// between surviving nodes would be gratuitous churn.
+			if oa != "n5" {
+				t.Fatalf("key %q moved %q -> %q, not to the new node", key, ob, oa)
+			}
+		}
+	}
+	// Expect ~1/5 of keys to move; allow a generous band.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("%d of %d primaries moved when adding a 5th node; want roughly %d", moved, keys, keys/5)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := mustRing(t, []string{"b", "a"}, 0)
+	if got := r.Nodes(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Nodes() = %v, want sorted [a b]", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", r.Len())
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Errorf("VNodes() = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	// Mutating the returned membership must not corrupt the ring.
+	r.Nodes()[0] = "zzz"
+	if r.Nodes()[0] != "a" {
+		t.Error("Nodes() returned shared backing storage")
+	}
+}
+
+// A membership beyond 64 nodes exercises the map-based dedup path.
+func TestManyNodes(t *testing.T) {
+	nodes := make([]string, 80)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node-%03d", i)
+	}
+	r := mustRing(t, nodes, 8)
+	reps := r.Replicas("some-key", 70)
+	if len(reps) != 70 {
+		t.Fatalf("got %d replicas, want 70", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, n := range reps {
+		if seen[n] {
+			t.Fatalf("duplicate replica %q", n)
+		}
+		seen[n] = true
+	}
+}

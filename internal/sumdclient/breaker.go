@@ -1,0 +1,148 @@
+package sumdclient
+
+// Circuit breaker for one backend: the proxy installs one Breaker per
+// sumd instance so a dead or drowning backend is cut off after a few
+// consecutive failures instead of eating a full timeout per request,
+// and is probed back into service with a single request per cooldown
+// rather than a thundering herd.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned without sending anything when the
+// backend's breaker is open. Callers distinguish it from a transport
+// error: the request was never attempted, so nothing can have been
+// applied.
+var ErrBreakerOpen = errors.New("sumdclient: circuit breaker open")
+
+// BreakerState is the classic three-state machine.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: every request is rejected until Cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe request is in flight; its
+	// outcome decides between Closed and another Open round.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. The zero value is
+// usable (threshold 5, cooldown 1s). Safe for concurrent use. Install
+// one on a Client via Client.Breaker; failures are transport errors and
+// 5xx responses — a 4xx (including a 429 shed) proves the backend is
+// alive and answering, so it closes the loop like a success.
+type Breaker struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker; 0 means 5.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one
+	// probe through; 0 means 1s.
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool             // a half-open probe is in flight
+	now      func() time.Time // test seam; nil means time.Now
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return time.Second
+	}
+	return b.Cooldown
+}
+
+// State returns the current state, advancing Open to HalfOpen when the
+// cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.clock().Sub(b.openedAt) >= b.cooldown() {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may be sent now. It returns nil for
+// closed flow and for the single half-open probe, ErrBreakerOpen
+// otherwise. A caller that gets nil MUST follow up with exactly one
+// Record call for the request's outcome — in half-open the breaker
+// holds the probe slot for that caller until it reports.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of a request Allow admitted. A success
+// closes the breaker and zeroes the failure streak; a failure bumps the
+// streak and opens the breaker at the threshold (immediately when it
+// was a half-open probe).
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = b.clock()
+		b.probing = false
+		b.fails = 0
+	}
+}

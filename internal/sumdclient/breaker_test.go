@@ -1,0 +1,236 @@
+package sumdclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is the breaker's time seam: tests advance it explicitly.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	return &Breaker{Threshold: threshold, Cooldown: cooldown, now: fc.now}, fc
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newFakeBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("failure %d: Allow() = %v, want nil while closed", i, err)
+		}
+		b.Record(false)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("third Allow() = %v", err)
+	}
+	b.Record(false) // third consecutive failure trips it
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow() while open = %v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newFakeBreaker(3, time.Second)
+	for i := 0; i < 10; i++ { // alternate fail/success — never trips
+		_ = b.Allow()
+		b.Record(false)
+		_ = b.Allow()
+		b.Record(true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed — streak must reset on success", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, fc := newFakeBreaker(1, time.Second)
+	_ = b.Allow()
+	b.Record(false) // threshold 1: open immediately
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow() during cooldown = %v, want ErrBreakerOpen", err)
+	}
+
+	fc.advance(time.Second) // cooldown elapses → half-open
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	// Exactly one probe is admitted; a second concurrent request is not.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow() = %v, want nil", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second Allow() during probe = %v, want ErrBreakerOpen", err)
+	}
+
+	// Probe fails → straight back to open for a full cooldown.
+	b.Record(false)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("Allow() after failed probe must reject")
+	}
+	fc.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow() after second cooldown = %v", err)
+	}
+	// Probe succeeds → closed, traffic flows.
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow() %d after recovery = %v", i, err)
+		}
+		b.Record(true)
+	}
+}
+
+func TestBreakerZeroValueDefaults(t *testing.T) {
+	var b Breaker
+	for i := 0; i < 4; i++ {
+		_ = b.Allow()
+		b.Record(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 4 failures = %v, want closed (default threshold 5)", got)
+	}
+	_ = b.Allow()
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 5 failures = %v, want open", got)
+	}
+	if s := BreakerHalfOpen.String(); s != "half-open" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := BreakerState(42).String(); s != "BreakerState(42)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// A client with a Breaker: 5xx responses and transport errors open it;
+// once open, requests fail fast with ErrBreakerOpen without touching
+// the backend; a 4xx closes the loop like a success.
+func TestClientBreakerIntegration(t *testing.T) {
+	var hits, mode atomic.Int64 // mode: 0=500, 1=404, 2=200
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		switch mode.Load() {
+		case 0:
+			w.WriteHeader(http.StatusInternalServerError)
+		case 1:
+			w.WriteHeader(http.StatusNotFound)
+		default:
+			w.Write([]byte(`{"bits":"0"}`))
+		}
+	}))
+	defer srv.Close()
+
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	c := New(srv.URL, nil)
+	c.Breaker = &Breaker{Threshold: 2, Cooldown: time.Minute, now: fc.now}
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Sum(ctx); err == nil {
+			t.Fatal("want error from 500 backend")
+		}
+	}
+	before := hits.Load()
+	if _, err := c.Sum(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker must not touch the backend")
+	}
+	if got := ErrorStatus(ErrBreakerOpen); got != 0 {
+		t.Fatalf("ErrorStatus(ErrBreakerOpen) = %d, want 0", got)
+	}
+
+	// Cooldown elapses; the probe sees a 404 — backend alive → closed.
+	mode.Store(1)
+	fc.advance(time.Minute)
+	_, err := c.Sum(ctx)
+	if status := ErrorStatus(err); status != http.StatusNotFound {
+		t.Fatalf("probe err = %v (status %d), want the backend's 404 through", err, status)
+	}
+	if got := c.Breaker.State(); got != BreakerClosed {
+		t.Fatalf("state after 404 probe = %v, want closed (4xx is a live backend)", got)
+	}
+	mode.Store(2)
+	if _, err := c.Sum(ctx); err != nil {
+		t.Fatalf("Sum after recovery: %v", err)
+	}
+}
+
+// Client.Timeout applies only when the caller's context has no
+// deadline.
+func TestClientTimeoutDefaultDeadline(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := New(srv.URL, nil)
+	if c.Timeout != DefaultTimeout {
+		t.Fatalf("New set Timeout=%v, want %v", c.Timeout, DefaultTimeout)
+	}
+
+	// Background context: the client's own deadline fires.
+	c.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := c.Sum(context.Background())
+	if err == nil {
+		t.Fatal("want deadline error against a stuck backend")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("request took %v — Client.Timeout did not apply", elapsed)
+	}
+
+	// Caller deadline wins: a longer caller deadline is not tightened…
+	c.Timeout = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if _, err := c.Sum(ctx); err == nil {
+		t.Fatal("want deadline error")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("request failed after %v — the caller's 250ms deadline was tightened by Client.Timeout", elapsed)
+	}
+
+	// …and a negative Timeout disables the default entirely.
+	c.Timeout = -1
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Sum(ctx2)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("request returned early with %v — negative Timeout must hang until cancel", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	cancel2()
+	if err := <-done; err == nil {
+		t.Fatal("want cancellation error")
+	}
+}

@@ -62,11 +62,30 @@ type Client struct {
 	// larger Options.MaxBodyBytes, or a GET /v1/keyed/partial whose
 	// envelope outgrows the default.
 	MaxResponseBytes int64
+	// Timeout is the per-attempt deadline applied when the caller's
+	// context has none — so context.Background() callers cannot hang
+	// forever on a stuck backend. A caller context that already carries
+	// a deadline is respected untouched (even a longer one). New sets it
+	// to DefaultTimeout; negative disables the default entirely.
+	Timeout time.Duration
+	// Breaker, when set, gates every attempt: an open breaker fails the
+	// request with ErrBreakerOpen before anything is sent, and each
+	// attempted request's outcome feeds back into the breaker (transport
+	// errors and 5xx responses count as failures; any completed non-5xx
+	// response proves the backend alive). The proxy installs one Breaker
+	// per backend client.
+	Breaker *Breaker
 
 	retried atomic.Int64
 	sleep   func(ctx context.Context, d time.Duration) error // test hook
 	jitter  func(n int64) int64                              // test hook; uniform draw from [0, n)
 }
+
+// DefaultTimeout is the per-attempt deadline New installs in
+// Client.Timeout: generous enough for a full keyed-envelope exchange,
+// short enough that a wedged backend surfaces as an error instead of a
+// hung worker.
+const DefaultTimeout = 30 * time.Second
 
 // New returns a Client for the sumd service at baseURL (e.g.
 // "http://127.0.0.1:8372"). hc may be nil for http.DefaultClient.
@@ -74,7 +93,7 @@ func New(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, sleep: sleepCtx, jitter: rand.Int64N}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, Timeout: DefaultTimeout, sleep: sleepCtx, jitter: rand.Int64N}
 }
 
 // apiError is a non-2xx response from the service.
@@ -87,6 +106,18 @@ type apiError struct {
 
 func (e *apiError) Error() string {
 	return fmt.Sprintf("sumd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// ErrorStatus returns the HTTP status behind an error the client
+// returned, or 0 when the error was not an HTTP response (transport
+// failure, open breaker, context cancellation). The proxy uses it to
+// split "backend answered badly" from "backend unreachable".
+func ErrorStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
 }
 
 // Retried429 reports how many 429-shed requests the client has re-sent
@@ -180,9 +211,42 @@ func (c *Client) backoff(attempt int, ae *apiError) time.Duration {
 }
 
 func (c *Client) doOnce(ctx context.Context, method, path, contentType, token string, body []byte) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if c.Breaker != nil {
+		if err := c.Breaker.Allow(); err != nil {
+			return nil, err
+		}
+	}
+	data, status, err := c.send(ctx, method, path, contentType, token, body)
+	if c.Breaker != nil {
+		// Failure = nothing came back (status 0), or the backend itself
+		// is broken (5xx). Any non-5xx response — including a 429 shed or
+		// a 409 rejection — is a live, answering backend and closes the
+		// loop like a success.
+		c.Breaker.Record(status > 0 && status < 500)
+	}
 	if err != nil {
 		return nil, err
+	}
+	return data, nil
+}
+
+// send performs one HTTP exchange. status is nonzero whenever a
+// response arrived, even one that send turns into an error — the
+// breaker needs "backend answered 429" and "connection refused" to be
+// distinguishable.
+func (c *Client) send(ctx context.Context, method, path, contentType, token string, body []byte) (data []byte, status int, err error) {
+	// Give context.Background() callers a real deadline; never tighten a
+	// deadline the caller chose.
+	if c.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+			defer cancel()
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
@@ -192,7 +256,7 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType, token st
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	// Read one byte past the response cap so an over-cap response is an
@@ -201,12 +265,12 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType, token st
 	if maxResp <= 0 {
 		maxResp = sumdsrv.MaxBodyBytes
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResp+1))
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxResp+1))
 	if err != nil {
-		return nil, err
+		return nil, resp.StatusCode, err
 	}
 	if int64(len(data)) > maxResp {
-		return nil, fmt.Errorf("sumd: response to %s %s exceeds %d bytes", method, path, maxResp)
+		return nil, resp.StatusCode, fmt.Errorf("sumd: response to %s %s exceeds %d bytes", method, path, maxResp)
 	}
 	if resp.StatusCode/100 != 2 {
 		msg := strings.TrimSpace(string(data))
@@ -218,9 +282,9 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType, token st
 		}
 		ae := &apiError{Status: resp.StatusCode, Message: msg}
 		ae.RetryAfter, ae.HasRetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
-		return nil, ae
+		return nil, resp.StatusCode, ae
 	}
-	return data, nil
+	return data, resp.StatusCode, nil
 }
 
 // parseRetryAfter parses a Retry-After header value per RFC 9110 §10.2.3:
@@ -401,6 +465,26 @@ func (co *Combiner) pushPending(ctx context.Context) error {
 	}
 	co.pending, co.token = nil, ""
 	return nil
+}
+
+// NewIdemToken returns a fresh idempotency token: 128 random bits in
+// hex, drawn from crypto/rand so independent senders cannot collide.
+// Generate one token per logical write and reuse it across every
+// replica leg, retry, and hint replay of that write — the service
+// dedups on the token, so the write lands exactly once per replica no
+// matter how many deliveries it takes.
+func NewIdemToken() string { return newIdemToken() }
+
+// PushKeyedIdem merges a binary keyed envelope into the service under
+// an explicit idempotency token (PushKeyed with caller-controlled
+// dedup). It returns how many keys were merged — 0 with a nil error
+// when the service recognized the token and deduplicated the push.
+func (c *Client) PushKeyedIdem(ctx context.Context, token string, blob []byte) (int, error) {
+	data, err := c.doIdem(ctx, http.MethodPost, "/v1/keyed/partial", "application/octet-stream", token, blob)
+	if err != nil {
+		return 0, err
+	}
+	return decodeMerged(data)
 }
 
 // newIdemToken returns a fresh idempotency token: 128 random bits in

@@ -25,7 +25,10 @@
 //	POST /v1/reset    empty the accumulator
 //	GET  /v1/stats    ingestion counters (JSON; includes the async
 //	                  batcher's counters when async mode is on)
-//	GET  /v1/healthz  liveness + configuration
+//	GET  /v1/healthz  liveness + configuration; 503 while durability is
+//	                  degraded (a WAL write or fsync failure not yet
+//	                  followed by a durable success)
+//	GET  /v1/readyz   the same degradation check as a terse text probe
 //	GET  /metrics     the same counters in Prometheus text format
 //
 // Malformed payloads are rejected with 400 (decode error) or 409 (engine
@@ -347,6 +350,7 @@ func New(opt Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/reset", s.handleReset)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	s.mux.HandleFunc("POST /v1/keyed/partial", s.handlePushKeyed)
@@ -936,6 +940,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Histogram("sumd_ingest_flush_latency_seconds", "Wall time inside accumulator flush calls.",
 			batch.LatencyBuckets[:], m.LatencyHist[:], float64(m.FlushNs)/1e9)
 	}
+	bad, _ := s.degraded()
+	p.Gauge("sumd_degraded", "Whether durability is degraded (healthz serving 503).", b2f(bad))
 	p.Gauge("sumd_wal_enabled", "Whether the write-ahead log is journaling ingests.", b2f(s.wal != nil))
 	if s.wal != nil {
 		m := s.wal.Metrics()
@@ -962,10 +968,45 @@ func b2f(b bool) float64 {
 	return 0
 }
 
+// degraded reports whether the service can no longer keep its
+// durability promise: a WAL write/fsync/rotate/snapshot failure that
+// has not been followed by a durable success. While degraded, an ack
+// might not survive a crash, so health flips to 503 — a monitor or load
+// balancer pulls the node instead of feeding it writes it may lose.
+func (s *Server) degraded() (bool, string) {
+	if s.wal == nil {
+		return false, ""
+	}
+	bad, lastErr := s.wal.Degraded()
+	if !bad {
+		return false, ""
+	}
+	return true, lastErr
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		OK     bool   `json:"ok"`
-		Engine string `json:"engine"`
-		Shards int    `json:"shards"`
-	}{OK: true, Engine: s.sh.Engine(), Shards: s.sh.NumShards()})
+	bad, lastErr := s.degraded()
+	status := http.StatusOK
+	if bad {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		OK       bool   `json:"ok"`
+		Engine   string `json:"engine"`
+		Shards   int    `json:"shards"`
+		Degraded bool   `json:"degraded,omitempty"`
+		Error    string `json:"error,omitempty"`
+	}{OK: !bad, Engine: s.sh.Engine(), Shards: s.sh.NumShards(), Degraded: bad, Error: lastErr})
+}
+
+// handleReadyz is the readiness probe: identical degradation logic to
+// /v1/healthz but with the conventional terse text body, so ingress
+// health checks that expect "ok" can consume it directly.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if bad, lastErr := s.degraded(); bad {
+		http.Error(w, "degraded: "+lastErr, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
 }

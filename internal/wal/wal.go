@@ -165,16 +165,17 @@ type Recovered struct {
 type Log struct {
 	opt Options
 
-	mu      sync.Mutex
-	f       *os.File
-	seg     int64
-	size    int64
-	pend    []byte // encoded frames awaiting Commit
-	pendN   int64
-	scratch []byte // payload encode buffer
-	dirty   bool   // written since last fsync
-	closed  bool
-	m       Metrics
+	mu       sync.Mutex
+	f        *os.File
+	seg      int64
+	size     int64
+	pend     []byte // encoded frames awaiting Commit
+	pendN    int64
+	scratch  []byte // payload encode buffer
+	dirty    bool   // written since last fsync
+	degraded bool   // last durability operation failed; see Degraded
+	closed   bool
+	m        Metrics
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -354,6 +355,8 @@ func (l *Log) fsyncLoop() {
 				} else {
 					l.m.Fsyncs++
 					l.dirty = false
+					// The durability pipeline is proven whole again.
+					l.degraded = false
 				}
 			}
 			l.mu.Unlock()
@@ -363,10 +366,24 @@ func (l *Log) fsyncLoop() {
 	}
 }
 
-// noteErr records a failure on the metrics ledger; callers hold l.mu.
+// noteErr records a failure on the metrics ledger and marks the log
+// degraded; callers hold l.mu.
 func (l *Log) noteErr(err error) {
 	l.m.Errors++
 	l.m.LastError = err.Error()
+	l.degraded = true
+}
+
+// Degraded reports whether the log's most recent durability operation
+// failed — a failed write, fsync, rotation, or snapshot whose damage
+// has not yet been repaired by a subsequent success. While degraded,
+// "acked ⇒ durable" cannot be promised, so the serving layer flips
+// health to 503 instead of silently acking writes it may lose. The
+// string is the last error for the health payload.
+func (l *Log) Degraded() (bool, string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded, l.m.LastError
 }
 
 // Metrics returns a copy of the counters.
@@ -471,6 +488,12 @@ func (l *Log) commitLocked() error {
 	} else {
 		l.dirty = true
 	}
+	// A fully successful commit repairs the degraded flag — except under
+	// PolicyInterval, where the outstanding fsync obligation belongs to
+	// the background loop and only its success proves durability again.
+	if l.opt.Fsync != PolicyInterval {
+		l.degraded = false
+	}
 	return nil
 }
 
@@ -487,11 +510,17 @@ func (l *Log) rotateLocked() error {
 		l.m.Fsyncs++
 		l.dirty = false
 	}
-	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: closing segment %d: %w", l.seg, err)
-	}
+	// Open the successor before closing the sealed segment: openSegment
+	// only swaps l.f in on success, so a failed rotation (disk full,
+	// directory gone) leaves the log appending to the old segment — a
+	// degraded but recoverable state — instead of wedged on a closed
+	// file handle.
+	old, oldSeg := l.f, l.seg
 	if err := l.openSegment(l.seg + 1); err != nil {
 		return err
+	}
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment %d: %w", oldSeg, err)
 	}
 	l.m.Rotations++
 	l.m.Segments++

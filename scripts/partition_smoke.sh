@@ -1,0 +1,127 @@
+#!/bin/sh
+# partition_smoke.sh — partition/wipe convergence smoke for the sumproxy
+# fleet, end to end over real processes and real sockets.
+#
+# Starts three sumd backends and one sumproxy (replication 3, quorum
+# acks), pushes 20 keyed writes of [0.5, 0.25] spread over 4 keys (five
+# writes per key — every key's exact sum is 3.75), SIGKILLs backend 2
+# mid-ingest (half the writes land while it is a corpse), restarts it
+# EMPTY (no WAL — a lost disk), drives anti-entropy repair through the
+# proxy, and then demands the identical per-key sum string from all
+# three backends directly. Exercises the real binaries — the in-process
+# gauntlet cannot catch a flag-wiring bug in cmd/sumproxy itself.
+#
+# Usage: scripts/partition_smoke.sh [base-port]
+set -eu
+
+PORT="${1:-19731}"
+B1="127.0.0.1:$PORT"
+B2="127.0.0.1:$((PORT + 1))"
+B3="127.0.0.1:$((PORT + 2))"
+PX="127.0.0.1:$((PORT + 3))"
+DIR="$(mktemp -d)"
+trap 'kill -9 "$P1" "$P2" "$P3" "$PP" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/sumd" ./cmd/sumd
+go build -o "$DIR/sumproxy" ./cmd/sumproxy
+
+wait_up() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$1/v1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "partition_smoke: $1 never became healthy" >&2
+    exit 1
+}
+
+"$DIR/sumd" -addr "$B1" -shards 2 &
+P1=$!
+"$DIR/sumd" -addr "$B2" -shards 2 &
+P2=$!
+"$DIR/sumd" -addr "$B3" -shards 2 &
+P3=$!
+wait_up "$B1"
+wait_up "$B2"
+wait_up "$B3"
+
+"$DIR/sumproxy" -addr "$PX" -backends "http://$B1,http://$B2,http://$B3" \
+    -replication 3 -ack quorum -replay-every 100ms &
+PP=$!
+wait_up "$PX"
+
+# write N: key k(N mod 4), values [0.5, 0.25], retried until acked
+# (quorum survives one dead backend; the token keeps retries
+# exactly-once).
+write() {
+    _key="k$(($1 % 4))"
+    for _ in $(seq 1 50); do
+        if curl -fsS -X POST "http://$PX/v1/add?key=$_key" \
+            -H 'Content-Type: application/json' \
+            -H "Idempotency-Key: smoke-$1" \
+            -d '{"values":[0.5,0.25]}' >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "partition_smoke: write $1 never acked" >&2
+    exit 1
+}
+
+i=0
+while [ "$i" -lt 10 ]; do
+    write "$i"
+    i=$((i + 1))
+done
+
+# Kill backend 2 mid-ingest — no shutdown hook, no flush.
+kill -9 "$P2"
+wait "$P2" 2>/dev/null || true
+
+while [ "$i" -lt 20 ]; do
+    write "$i"
+    i=$((i + 1))
+done
+
+# Restart backend 2 empty: everything it had is gone; everything it
+# missed it never saw. Repair owes it both.
+"$DIR/sumd" -addr "$B2" -shards 2 &
+P2=$!
+wait_up "$B2"
+
+# Drive repair until a round comes back clean (the healed backend's
+# circuit breaker may still be cooling down on the first try).
+repaired=0
+for _ in $(seq 1 50); do
+    R="$(curl -fsS -X POST "http://$PX/v1/repair" 2>/dev/null || true)"
+    case "$R" in
+    *'"unreachable"'* | '' ) sleep 0.2 ;;
+    *'"errors":0'*)
+        repaired=1
+        break
+        ;;
+    *) sleep 0.2 ;;
+    esac
+done
+if [ "$repaired" != 1 ]; then
+    echo "partition_smoke: repair never converged (last: $R)" >&2
+    exit 1
+fi
+
+# Every backend, every key: the exact per-key sum, bit-identical
+# (shortest-decimal rendering is bijective with the float64 bits).
+for addr in "$B1" "$B2" "$B3"; do
+    for k in k0 k1 k2 k3; do
+        S="$(curl -fsS "http://$addr/v1/sum?key=$k")"
+        case "$S" in
+        *'"sum":"3.75"'*) ;;
+        *)
+            echo "partition_smoke: FAIL — $addr $k answered $S (want sum 3.75)" >&2
+            exit 1
+            ;;
+        esac
+    done
+done
+
+echo "partition_smoke: ok — 3 backends bit-identical on 4 keys after kill -9 + wipe + repair"
